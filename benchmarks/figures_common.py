@@ -1,0 +1,203 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each ``test_figNN_*`` module regenerates one figure of the paper's
+evaluation (Section 6).  The helpers here build the shared test database,
+run generation campaigns, and render/persist the figure series so the
+numbers land both in the terminal output and in ``benchmarks/results/``.
+
+Scale notes: Figures 8-10 run at full paper scale (n = 15 and 30 rules,
+all nC2 pairs).  The compression figures (11-14) keep the paper's sweep
+*shapes* but run at reduced (n, k) sizes so the whole benchmark suite
+completes in minutes on a laptop -- the paper's own numbers come from a
+production SQL Server testbed.  EXPERIMENTS.md records the mapping.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.rules import RuleRegistry, default_registry
+from repro.storage.database import Database
+from repro.testing import (
+    CostOracle,
+    QueryGenerator,
+    TestSuite,
+    TestSuiteBuilder,
+    TopKStats,
+    baseline_plan,
+    pair_nodes,
+    set_multicover_plan,
+    singleton_nodes,
+    top_k_independent_plan,
+)
+from repro.workloads import tpch_database
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: One shared database + registry for every figure (the paper fixes the
+#: test database up front, Section 2.3).
+DB_SEED = 0
+
+
+@lru_cache(maxsize=1)
+def shared_database() -> Database:
+    return tpch_database(seed=DB_SEED)
+
+
+def registry() -> RuleRegistry:
+    return default_registry()
+
+
+def rule_prefix(n: int) -> List[str]:
+    """The first ``n`` exploration rules (the paper's 'number of rules')."""
+    names = registry().exploration_rule_names
+    if n > len(names):
+        raise ValueError(f"only {len(names)} exploration rules available")
+    return names[:n]
+
+
+# ------------------------------------------------------------- campaigns
+
+
+@lru_cache(maxsize=None)
+def singleton_generation_campaign(
+    method: str, n: int, seed: int = 123, max_trials: int = 0
+) -> Tuple[Tuple[str, int, bool, float], ...]:
+    """Per-rule (name, trials, succeeded, seconds) for one method."""
+    generator = QueryGenerator(shared_database(), registry(), seed=seed)
+    rows = []
+    for name in rule_prefix(n):
+        if method == "pattern":
+            outcome = generator.pattern_query_for_rule(
+                name, max_trials=max_trials or 25
+            )
+        else:
+            outcome = generator.random_query_for_rule(
+                name, max_trials=max_trials or 500
+            )
+        rows.append(
+            (name, outcome.trials, outcome.succeeded, outcome.elapsed_seconds)
+        )
+    return tuple(rows)
+
+
+@lru_cache(maxsize=None)
+def pair_generation_campaign(
+    method: str, n: int, seed: int = 123, max_trials: int = 0
+) -> Tuple[Tuple[str, str, int, bool, float], ...]:
+    """Per-pair (rule1, rule2, trials, succeeded, seconds)."""
+    generator = QueryGenerator(shared_database(), registry(), seed=seed)
+    rows = []
+    for first, second in itertools.combinations(rule_prefix(n), 2):
+        if method == "pattern":
+            outcome = generator.pattern_query_for_pair(
+                first, second, max_trials=max_trials or 60
+            )
+        else:
+            outcome = generator.random_query_for_pair(
+                first, second, max_trials=max_trials or 400
+            )
+        rows.append(
+            (
+                first,
+                second,
+                outcome.trials,
+                outcome.succeeded,
+                outcome.elapsed_seconds,
+            )
+        )
+    return tuple(rows)
+
+
+# ----------------------------------------------------------- compression
+
+
+@lru_cache(maxsize=None)
+def singleton_suite(n: int, k: int, seed: int = 7) -> TestSuite:
+    builder = TestSuiteBuilder(
+        shared_database(), registry(), seed=seed, extra_operators=3
+    )
+    return builder.build(singleton_nodes(rule_prefix(n)), k=k)
+
+
+@lru_cache(maxsize=None)
+def pair_suite(n: int, k: int, seed: int = 7) -> TestSuite:
+    builder = TestSuiteBuilder(
+        shared_database(), registry(), seed=seed, extra_operators=0
+    )
+    return builder.build(pair_nodes(rule_prefix(n)), k=k)
+
+
+def compression_costs(suite: TestSuite) -> Dict[str, float]:
+    """Total execution cost of BASELINE / SMC / TOPK for one suite."""
+    oracle = CostOracle(shared_database(), registry())
+    plans = {
+        "BASELINE": baseline_plan(suite, oracle),
+        "SMC": set_multicover_plan(suite, oracle),
+        "TOPK": top_k_independent_plan(suite, oracle),
+    }
+    return {name: plan.total_cost for name, plan in plans.items()}
+
+
+def monotonicity_comparison(suite: TestSuite) -> Dict[str, float]:
+    """Optimizer invocations and solution cost, with/without monotonicity."""
+    plain_oracle = CostOracle(shared_database(), registry())
+    plain_stats = TopKStats()
+    plain = top_k_independent_plan(suite, plain_oracle, stats=plain_stats)
+
+    mono_oracle = CostOracle(shared_database(), registry())
+    mono_stats = TopKStats()
+    mono = top_k_independent_plan(
+        suite, mono_oracle, use_monotonicity=True, stats=mono_stats
+    )
+    return {
+        "invocations_plain": plain_oracle.invocations,
+        "invocations_mono": mono_oracle.invocations,
+        "cost_plain": plain.total_cost,
+        "cost_mono": mono.total_cost,
+        "skipped": mono_stats.edge_costs_skipped,
+    }
+
+
+# ---------------------------------------------------------------- report
+
+
+def emit_figure(
+    capsys, figure: str, title: str, header: Sequence[str], rows: Sequence[Sequence]
+) -> None:
+    """Print one figure's series to the terminal and persist it as JSON."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "figure": figure,
+        "title": title,
+        "header": list(header),
+        "rows": [list(row) for row in rows],
+        "generated_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+    }
+    (RESULTS_DIR / f"{figure}.json").write_text(
+        json.dumps(payload, indent=2)
+    )
+
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        f"\n=== {figure}: {title} ===",
+        "  ".join(str(h).ljust(w) for h, w in zip(header, widths)),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+        )
+    text = "\n".join(lines)
+    if capsys is not None:
+        with capsys.disabled():
+            print(text)
+    else:
+        print(text)

@@ -1,0 +1,48 @@
+"""Figure 8: Random vs. Pattern-based generation for singleton rules.
+
+Paper result: PATTERN generates a query exercising each rule in 1-4 trials
+(38 total over 30 rules); RANDOM needs up to ~40 trials for some rules
+(234 total).  Expected shape here: PATTERN total an order of magnitude
+below RANDOM, with a small per-rule maximum.
+"""
+
+import pytest
+
+from figures_common import emit_figure, singleton_generation_campaign
+
+N_RULES = 30  # paper scale
+
+
+def test_fig08_trials_per_singleton_rule(benchmark, capsys):
+    random_rows = singleton_generation_campaign("random", N_RULES)
+
+    # Benchmark the PATTERN campaign itself (the fast path under test).
+    pattern_rows = benchmark.pedantic(
+        lambda: singleton_generation_campaign("pattern", N_RULES),
+        rounds=1,
+        iterations=1,
+    )
+
+    by_rule = {name: trials for name, trials, _, _ in random_rows}
+    rows = [
+        (name, trials, by_rule[name])
+        for name, trials, _succeeded, _secs in pattern_rows
+    ]
+    total_pattern = sum(row[1] for row in rows)
+    total_random = sum(row[2] for row in rows)
+    rows.append(("TOTAL", total_pattern, total_random))
+    emit_figure(
+        capsys,
+        "fig08",
+        f"trials per singleton rule (n={N_RULES})",
+        ("rule", "PATTERN trials", "RANDOM trials"),
+        rows,
+    )
+
+    # Shape assertions mirroring the paper's claims.
+    assert all(ok for _, _, ok, _ in pattern_rows), "PATTERN must cover all"
+    max_pattern = max(trials for _, trials, _, _ in pattern_rows)
+    assert max_pattern <= 8, f"PATTERN should need few trials ({max_pattern})"
+    assert total_pattern * 3 < total_random, (
+        "PATTERN must dominate RANDOM in total trials"
+    )

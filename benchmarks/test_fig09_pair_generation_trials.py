@@ -1,0 +1,54 @@
+"""Figure 9: Random vs. Pattern-based generation for rule pairs (trials).
+
+Paper result (log-scale y-axis): n=15 -> RANDOM 1187 vs PATTERN 383
+trials; n=30 -> RANDOM >13,000 vs PATTERN <1,000 (a 13x gap).  The gap
+grows with n because a random query's chance of exercising *both* rules of
+a pair drops rapidly.  Expected shape here: PATTERN totals well below
+RANDOM at both n, with the ratio at n=30 at least as large as at n=15.
+"""
+
+import pytest
+
+from figures_common import emit_figure, pair_generation_campaign
+
+SIZES = (15, 30)  # paper scale
+
+
+def test_fig09_trials_for_rule_pairs(benchmark, capsys):
+    totals = {}
+
+    def run_all():
+        for n in SIZES:
+            for method in ("pattern", "random"):
+                rows = pair_generation_campaign(method, n)
+                totals[(method, n)] = sum(row[2] for row in rows)
+        return totals
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        (
+            f"n={n} ({n * (n - 1) // 2} pairs)",
+            totals[("pattern", n)],
+            totals[("random", n)],
+            round(totals[("random", n)] / max(1, totals[("pattern", n)]), 1),
+        )
+        for n in SIZES
+    ]
+    emit_figure(
+        capsys,
+        "fig09",
+        "total trials for rule pairs",
+        ("rules", "PATTERN trials", "RANDOM trials", "RANDOM/PATTERN"),
+        rows,
+    )
+
+    for n in SIZES:
+        assert totals[("pattern", n)] * 2 < totals[("random", n)], (
+            f"PATTERN must dominate RANDOM at n={n}"
+        )
+    ratio_small = totals[("random", SIZES[0])] / totals[("pattern", SIZES[0])]
+    ratio_large = totals[("random", SIZES[1])] / totals[("pattern", SIZES[1])]
+    assert ratio_large >= 0.8 * ratio_small, (
+        "the PATTERN advantage should not shrink materially with n"
+    )

@@ -1,0 +1,52 @@
+"""Figure 10: Random vs. Pattern-based generation for rule pairs (time).
+
+Paper result: the trial-count advantage of PATTERN (Figure 9) translates
+directly into generation *time* (log scale).  Expected shape here: PATTERN
+wall-clock totals well below RANDOM at both n values.
+
+The campaign results are shared with Figure 9 via an in-process cache, so
+this module reports the timing series of the same runs.
+"""
+
+import pytest
+
+from figures_common import emit_figure, pair_generation_campaign
+
+SIZES = (15, 30)
+
+
+def test_fig10_time_for_rule_pairs(benchmark, capsys):
+    seconds = {}
+
+    def run_all():
+        for n in SIZES:
+            for method in ("pattern", "random"):
+                rows = pair_generation_campaign(method, n)
+                seconds[(method, n)] = sum(row[4] for row in rows)
+        return seconds
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        (
+            f"n={n} ({n * (n - 1) // 2} pairs)",
+            round(seconds[("pattern", n)], 2),
+            round(seconds[("random", n)], 2),
+            round(
+                seconds[("random", n)] / max(1e-9, seconds[("pattern", n)]), 1
+            ),
+        )
+        for n in SIZES
+    ]
+    emit_figure(
+        capsys,
+        "fig10",
+        "generation time for rule pairs (seconds)",
+        ("rules", "PATTERN s", "RANDOM s", "RANDOM/PATTERN"),
+        rows,
+    )
+
+    for n in SIZES:
+        assert seconds[("pattern", n)] < seconds[("random", n)], (
+            f"PATTERN must be faster at n={n}"
+        )

@@ -1,0 +1,56 @@
+"""Figure 12: Test-suite compression for rule pairs.
+
+Paper result: TOPK consistently produces the lowest-cost suites; SMC
+varies from good to *worse than BASELINE*, because it ignores edge costs
+(the cost of a query with a rule pair disabled), and with pairs there are
+many more opportunities for a cheap-looking query to become very expensive
+once a pair of rules is turned off.  Expected shape here: TOPK <= SMC and
+TOPK < BASELINE at every point.
+
+Scale note: the paper sweeps up to 30 rules (435 pairs) with k=10 on a
+production testbed; we keep the sweep shape at (n pairs, k) sizes that run
+in minutes -- see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from figures_common import compression_costs, emit_figure, pair_suite
+
+SIZES = (4, 6, 8, 10)
+K = 3
+
+
+def test_fig12_pair_compression(benchmark, capsys):
+    series = {}
+
+    def run_all():
+        for n in SIZES:
+            suite = pair_suite(n, K)
+            series[n] = compression_costs(suite)
+        return series
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        (
+            f"n={n} ({n * (n - 1) // 2} pairs)",
+            round(series[n]["BASELINE"], 1),
+            round(series[n]["SMC"], 1),
+            round(series[n]["TOPK"], 1),
+        )
+        for n in SIZES
+    ]
+    emit_figure(
+        capsys,
+        "fig12",
+        f"test-suite execution cost, rule pairs (k={K})",
+        ("rules", "BASELINE", "SMC", "TOPK"),
+        rows,
+    )
+
+    for n in SIZES:
+        costs = series[n]
+        assert costs["TOPK"] < costs["BASELINE"], f"TOPK must beat BASELINE (n={n})"
+        assert costs["TOPK"] <= costs["SMC"] * 1.05, (
+            f"TOPK should be the best approach (n={n})"
+        )

@@ -1,0 +1,54 @@
+"""Figure 13: Impact of the test-suite size k on solution quality.
+
+Paper result (n=15 fixed, pairs; k swept): TOPK is the best algorithm at
+every k.  SMC produces good solutions at very small k (k=1) but degrades
+at larger k -- with more queries picked per rule it becomes ever more
+likely that some picked query is catastrophically expensive once the rule
+pair is disabled (SMC never looks at edge costs).  Expected shape here:
+TOPK <= SMC everywhere, with SMC's relative gap growing with k.
+"""
+
+import pytest
+
+from figures_common import compression_costs, emit_figure, pair_suite
+
+N = 6  # 15 pairs (the paper fixes 15 rules -> 105 pairs)
+K_VALUES = (1, 2, 3, 4, 6)
+
+
+def test_fig13_vary_suite_size(benchmark, capsys):
+    series = {}
+
+    def run_all():
+        for k in K_VALUES:
+            suite = pair_suite(N, k)
+            series[k] = compression_costs(suite)
+        return series
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        (
+            k,
+            round(series[k]["BASELINE"], 1),
+            round(series[k]["SMC"], 1),
+            round(series[k]["TOPK"], 1),
+        )
+        for k in K_VALUES
+    ]
+    emit_figure(
+        capsys,
+        "fig13",
+        f"impact of test-suite size k (n={N} rules, {N*(N-1)//2} pairs)",
+        ("k", "BASELINE", "SMC", "TOPK"),
+        rows,
+    )
+
+    for k in K_VALUES:
+        assert series[k]["TOPK"] <= series[k]["SMC"] * 1.05, (
+            f"TOPK must be best across all k (k={k})"
+        )
+    # SMC's disadvantage versus TOPK should not shrink as k grows.
+    first_gap = series[K_VALUES[0]]["SMC"] / series[K_VALUES[0]]["TOPK"]
+    last_gap = series[K_VALUES[-1]]["SMC"] / series[K_VALUES[-1]]["TOPK"]
+    assert last_gap >= 0.8 * first_gap

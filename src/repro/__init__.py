@@ -1,0 +1,121 @@
+"""repro: a framework for testing query transformation rules.
+
+A from-scratch reproduction of Elmongui, Narasayya & Ramamurthy, *A
+Framework for Testing Query Transformation Rules* (SIGMOD 2009), including
+every substrate the paper assumes: a Cascades-style rule-based optimizer
+(33 logical exploration rules + implementation rules), an executable
+relational engine with full SQL NULL semantics, a TPC-H-shaped test
+database, and -- on top -- the paper's contributions: pattern-based query
+generation and test-suite compression.
+
+Typical entry points::
+
+    from repro import tpch_database, QueryGenerator, default_registry
+
+    db = tpch_database(seed=0)
+    gen = QueryGenerator(db, seed=0)
+    outcome = gen.pattern_query_for_rule("JoinCommutativity")
+    print(outcome.sql, outcome.trials)
+"""
+
+from repro.catalog import Catalog, ColumnDef, DataType, ForeignKey, TableDef
+from repro.engine import execute_plan, results_identical
+from repro.logical import (
+    Distinct,
+    Except,
+    GbAgg,
+    Get,
+    Intersect,
+    Join,
+    JoinKind,
+    Limit,
+    LogicalOp,
+    OpKind,
+    Project,
+    Select,
+    Sort,
+    SortKey,
+    Union,
+    UnionAll,
+    make_get,
+    validate_tree,
+)
+from repro.optimizer import (
+    OptimizationError,
+    OptimizeResult,
+    Optimizer,
+    OptimizerConfig,
+)
+from repro.rules import RuleRegistry, default_registry
+from repro.sql import sql_to_tree, to_sql
+from repro.storage import Database
+from repro.testing import (
+    CorrectnessRunner,
+    CostOracle,
+    CoverageCampaign,
+    QueryGenerator,
+    RandomQueryGenerator,
+    TestSuite,
+    TestSuiteBuilder,
+    baseline_plan,
+    matching_plan,
+    pair_nodes,
+    set_multicover_plan,
+    singleton_nodes,
+    top_k_independent_plan,
+)
+from repro.workloads import tpch_catalog, tpch_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "ColumnDef",
+    "CorrectnessRunner",
+    "CostOracle",
+    "CoverageCampaign",
+    "DataType",
+    "Database",
+    "Distinct",
+    "Except",
+    "ForeignKey",
+    "GbAgg",
+    "Get",
+    "Intersect",
+    "Join",
+    "JoinKind",
+    "Limit",
+    "LogicalOp",
+    "OpKind",
+    "OptimizationError",
+    "OptimizeResult",
+    "Optimizer",
+    "OptimizerConfig",
+    "Project",
+    "QueryGenerator",
+    "RandomQueryGenerator",
+    "RuleRegistry",
+    "Select",
+    "Sort",
+    "SortKey",
+    "TableDef",
+    "TestSuite",
+    "TestSuiteBuilder",
+    "Union",
+    "UnionAll",
+    "baseline_plan",
+    "default_registry",
+    "execute_plan",
+    "make_get",
+    "matching_plan",
+    "pair_nodes",
+    "results_identical",
+    "set_multicover_plan",
+    "singleton_nodes",
+    "sql_to_tree",
+    "to_sql",
+    "top_k_independent_plan",
+    "tpch_catalog",
+    "tpch_database",
+    "validate_tree",
+]

@@ -1,0 +1,23 @@
+"""Schema metadata (tables, columns, keys) and table statistics."""
+
+from repro.catalog.schema import (
+    Catalog,
+    ColumnDef,
+    DataType,
+    ForeignKey,
+    SchemaError,
+    TableDef,
+)
+from repro.catalog.stats import ColumnStats, StatsRepository, TableStats
+
+__all__ = [
+    "Catalog",
+    "ColumnDef",
+    "ColumnStats",
+    "DataType",
+    "ForeignKey",
+    "SchemaError",
+    "StatsRepository",
+    "TableDef",
+    "TableStats",
+]

@@ -1,0 +1,104 @@
+"""Per-table and per-column statistics used by the cardinality estimator.
+
+Statistics are computed once from a stored table (see
+:meth:`TableStats.from_rows`) and then consulted by
+``repro.logical.cardinality`` during optimization.  They are intentionally
+simple -- row count, per-column distinct counts, null fractions and min/max
+-- which is all the selectivity formulas in the cost model need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for a single column."""
+
+    distinct_count: int
+    null_fraction: float
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+
+    @staticmethod
+    def from_values(values: Sequence[object]) -> "ColumnStats":
+        """Compute stats from raw column values (``None`` marks NULL)."""
+        non_null = [value for value in values if value is not None]
+        total = len(values)
+        null_fraction = 1.0 - (len(non_null) / total) if total else 0.0
+        distinct = len(set(non_null))
+        if non_null:
+            try:
+                lo, hi = min(non_null), max(non_null)
+            except TypeError:  # mixed un-comparable types; stats stay unordered
+                lo = hi = None
+        else:
+            lo = hi = None
+        return ColumnStats(
+            distinct_count=distinct,
+            null_fraction=null_fraction,
+            min_value=lo,
+            max_value=hi,
+        )
+
+
+class TableStats:
+    """Row count plus :class:`ColumnStats` for each column of one table."""
+
+    def __init__(
+        self, row_count: int, column_stats: Dict[str, ColumnStats]
+    ) -> None:
+        self.row_count = row_count
+        self._columns = dict(column_stats)
+
+    @staticmethod
+    def from_rows(
+        column_names: Sequence[str], rows: Sequence[Tuple]
+    ) -> "TableStats":
+        """Scan ``rows`` once and compute stats for every column."""
+        columns: Dict[str, ColumnStats] = {}
+        for index, name in enumerate(column_names):
+            values = [row[index] for row in rows]
+            columns[name] = ColumnStats.from_values(values)
+        return TableStats(row_count=len(rows), column_stats=columns)
+
+    def column(self, name: str) -> ColumnStats:
+        return self._columns[name]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def distinct(self, name: str) -> int:
+        """Distinct count for ``name``; at least 1 for non-empty tables."""
+        if name not in self._columns:
+            return max(1, self.row_count)
+        return max(1, self._columns[name].distinct_count)
+
+
+class StatsRepository:
+    """Statistics for every table in a database, keyed by table name."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, TableStats] = {}
+
+    def set(self, table_name: str, stats: TableStats) -> None:
+        self._tables[table_name] = stats
+
+    def get(self, table_name: str) -> TableStats:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise KeyError(f"no statistics for table {table_name!r}") from None
+
+    def has(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def table_names(self) -> Iterable[str]:
+        return self._tables.keys()
+
+    @staticmethod
+    def default_row_count() -> int:
+        """Fallback row count used when a table has no statistics."""
+        return 1000

@@ -1,0 +1,292 @@
+"""Command-line interface for the testing framework.
+
+Mirrors how a test engineer would drive the paper's framework day to day::
+
+    python -m repro rules --patterns          # list rules + pattern XML
+    python -m repro ddl                       # show the test schema
+    python -m repro generate --rule GbAggPullAboveJoin
+    python -m repro generate --rule A --pair B --method random
+    python -m repro optimize --sql "SELECT ... "
+    python -m repro correctness --rules 8 --k 3
+    python -m repro coverage --rules 12 --method pattern
+    python -m repro interaction --producer X --consumer Y
+
+Every command is seeded and deterministic; the exit code is non-zero when a
+campaign fails or a correctness bug is found (so the CLI can gate CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.engine import execute_plan, explain_analyze
+from repro.optimizer.engine import Optimizer
+from repro.rules.registry import default_registry
+from repro.sql.binder import sql_to_tree
+from repro.testing.compression import (
+    baseline_plan,
+    set_multicover_plan,
+    top_k_independent_plan,
+)
+from repro.testing.correctness import CorrectnessRunner
+from repro.testing.coverage import CoverageCampaign
+from repro.testing.generator import QueryGenerator
+from repro.testing.suite import CostOracle, TestSuiteBuilder, singleton_nodes
+from repro.workloads import tpch_database
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A framework for testing query transformation rules "
+        "(SIGMOD 2009 reproduction).",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for database and generators"
+    )
+    parser.add_argument(
+        "--database",
+        choices=["tpch", "star"],
+        default="tpch",
+        help="which built-in test database to run against",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("ddl", help="print the test database schema")
+
+    rules = commands.add_parser("rules", help="list transformation rules")
+    rules.add_argument(
+        "--patterns", action="store_true", help="include pattern XML"
+    )
+
+    generate = commands.add_parser(
+        "generate", help="generate a query exercising a rule (or pair)"
+    )
+    generate.add_argument("--rule", required=True)
+    generate.add_argument("--pair", help="second rule for pair generation")
+    generate.add_argument(
+        "--method", choices=["pattern", "random"], default="pattern"
+    )
+    generate.add_argument("--max-trials", type=int, default=None)
+    generate.add_argument(
+        "--extra-operators", type=int, default=0,
+        help="wrap the result in N extra random operators",
+    )
+
+    optimize = commands.add_parser(
+        "optimize", help="optimize a SQL query and show plan + RuleSet"
+    )
+    optimize.add_argument("--sql", required=True)
+    optimize.add_argument(
+        "--disable", action="append", default=[],
+        help="rule name to disable (repeatable)",
+    )
+    optimize.add_argument(
+        "--execute", action="store_true", help="also execute and show rows"
+    )
+
+    correctness = commands.add_parser(
+        "correctness", help="run a compressed correctness test suite"
+    )
+    correctness.add_argument("--rules", type=int, default=8)
+    correctness.add_argument("--k", type=int, default=3)
+    correctness.add_argument(
+        "--method", choices=["baseline", "smc", "topk"], default="topk"
+    )
+
+    coverage = commands.add_parser(
+        "coverage", help="rule-coverage campaign over the rule library"
+    )
+    coverage.add_argument("--rules", type=int, default=10)
+    coverage.add_argument(
+        "--method", choices=["pattern", "random"], default="pattern"
+    )
+    coverage.add_argument("--pairs", action="store_true")
+
+    interaction = commands.add_parser(
+        "interaction",
+        help="generate a query with a derived rule interaction (Section 7)",
+    )
+    interaction.add_argument("--producer", required=True)
+    interaction.add_argument("--consumer", required=True)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="full pipeline (coverage + compression + correctness) as a "
+        "markdown report",
+    )
+    campaign.add_argument("--rules", type=int, default=10)
+    campaign.add_argument("--k", type=int, default=3)
+    campaign.add_argument(
+        "--output", help="write the markdown report to this file"
+    )
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.database == "star":
+        from repro.workloads import star_database
+
+        database = star_database(seed=args.seed)
+    else:
+        database = tpch_database(seed=args.seed)
+    registry = default_registry()
+
+    if args.command == "ddl":
+        print(database.catalog.ddl())
+        print()
+        print(database.describe())
+        return 0
+
+    if args.command == "rules":
+        for rule in registry.exploration_rules:
+            kind = "exploration"
+            print(f"{rule.name:<28} {kind}")
+            if args.patterns:
+                print(f"    {registry.pattern_xml(rule.name)}")
+        for rule in registry.implementation_rules:
+            print(f"{rule.name:<28} implementation")
+            if args.patterns:
+                print(f"    {registry.pattern_xml(rule.name)}")
+        return 0
+
+    if args.command == "generate":
+        generator = QueryGenerator(database, registry, seed=args.seed)
+        if args.pair:
+            if args.method == "pattern":
+                outcome = generator.pattern_query_for_pair(
+                    args.rule, args.pair,
+                    max_trials=args.max_trials or 60,
+                )
+            else:
+                outcome = generator.random_query_for_pair(
+                    args.rule, args.pair,
+                    max_trials=args.max_trials or 2000,
+                )
+        elif args.method == "pattern":
+            outcome = generator.pattern_query_for_rule(
+                args.rule,
+                max_trials=args.max_trials or 25,
+                extra_operators=args.extra_operators,
+            )
+        else:
+            outcome = generator.random_query_for_rule(
+                args.rule, max_trials=args.max_trials or 500
+            )
+        target = " + ".join(outcome.target_rules)
+        if not outcome.succeeded:
+            print(
+                f"FAILED to generate a query exercising {target} in "
+                f"{outcome.trials} trials"
+            )
+            return 1
+        print(f"target rule(s): {target}")
+        print(f"trials: {outcome.trials}")
+        print(f"operators: {outcome.operator_count}")
+        print(f"sql: {outcome.sql}")
+        return 0
+
+    if args.command == "optimize":
+        tree = sql_to_tree(args.sql, database.catalog)
+        from repro.optimizer.config import OptimizerConfig
+
+        config = OptimizerConfig(disabled_rules=frozenset(args.disable))
+        optimizer = Optimizer(
+            database.catalog, database.stats_repository(), registry, config
+        )
+        result = optimizer.optimize(tree)
+        print(f"cost: {result.cost:.3f}")
+        exploration = {r.name for r in registry.exploration_rules}
+        print("RuleSet(q):", ", ".join(sorted(result.rules_exercised & exploration)))
+        if args.execute:
+            print(explain_analyze(result.plan, database))
+            output = execute_plan(result.plan, database, result.output_columns)
+            print(output.to_text())
+        else:
+            print(result.plan.pretty())
+        return 0
+
+    if args.command == "correctness":
+        names = registry.exploration_rule_names[: args.rules]
+        builder = TestSuiteBuilder(
+            database, registry, seed=args.seed, extra_operators=2
+        )
+        suite = builder.build(singleton_nodes(names), k=args.k)
+        oracle = CostOracle(database, registry)
+        maker = {
+            "baseline": baseline_plan,
+            "smc": set_multicover_plan,
+            "topk": top_k_independent_plan,
+        }[args.method]
+        plan = maker(suite, oracle)
+        print(
+            f"{plan.method}: estimated execution cost "
+            f"{plan.total_cost:.1f}, {len(plan.selected_query_ids)} queries"
+        )
+        report = CorrectnessRunner(database, registry).run(plan, suite)
+        print(
+            f"executed {report.queries_executed} queries, "
+            f"{report.disabled_plans_executed} disabled plans "
+            f"({report.skipped_identical_plans} identical plans skipped)"
+        )
+        for issue in report.issues:
+            print(f"BUG: {issue}")
+        for error in report.errors:
+            print(f"ERROR: {error}")
+        print("PASSED" if report.passed else "FAILED")
+        return 0 if report.passed else 1
+
+    if args.command == "coverage":
+        generator = QueryGenerator(database, registry, seed=args.seed)
+        campaign = CoverageCampaign(generator)
+        names = registry.exploration_rule_names[: args.rules]
+        if args.pairs:
+            report = campaign.pairs(names, method=args.method)
+        else:
+            report = campaign.singletons(names, method=args.method)
+        print(report.summary())
+        return 0 if not report.uncovered else 1
+
+    if args.command == "interaction":
+        generator = QueryGenerator(database, registry, seed=args.seed)
+        outcome = generator.derived_interaction_query(
+            args.producer, args.consumer
+        )
+        if not outcome.succeeded:
+            print(
+                f"no query found where {args.consumer} fires on "
+                f"{args.producer}'s output ({outcome.trials} trials)"
+            )
+            return 1
+        print(
+            f"{args.consumer} exercised on an expression produced by "
+            f"{args.producer} ({outcome.trials} trials):"
+        )
+        print(outcome.sql)
+        return 0
+
+    if args.command == "campaign":
+        from repro.testing.report import run_campaign
+
+        names = registry.exploration_rule_names[: args.rules]
+        result = run_campaign(
+            database, registry, rule_names=names, k=args.k, seed=args.seed
+        )
+        text = result.to_markdown()
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0 if result.passed else 1
+
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

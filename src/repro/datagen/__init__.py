@@ -1,0 +1,5 @@
+"""Deterministic synthetic data generation."""
+
+from repro.datagen.generator import DataGenerator, GenerationProfile
+
+__all__ = ["DataGenerator", "GenerationProfile"]

@@ -1,0 +1,24 @@
+"""Plan execution and result comparison."""
+
+from repro.engine.executor import ExecutionError, execute_plan
+from repro.engine.explain import explain, explain_analyze, plan_summary
+from repro.engine.results import (
+    QueryResult,
+    canonical_row,
+    canonical_value,
+    diff_summary,
+    results_identical,
+)
+
+__all__ = [
+    "ExecutionError",
+    "QueryResult",
+    "canonical_row",
+    "canonical_value",
+    "diff_summary",
+    "execute_plan",
+    "explain",
+    "explain_analyze",
+    "plan_summary",
+    "results_identical",
+]

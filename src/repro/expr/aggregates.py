@@ -1,0 +1,138 @@
+"""Aggregate functions and their accumulators.
+
+Aggregates appear only inside Group-By/Aggregate operators (never nested in
+scalar expressions).  Each function exposes an accumulator protocol used by
+the physical aggregation operators, plus the metadata the eager/lazy
+aggregation transformation rules need: whether the aggregate is
+*decomposable* (can be computed as partial aggregates combined by a second
+aggregation) and what the combining function is -- e.g. partial SUMs combine
+with SUM, partial COUNTs combine with SUM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.catalog.schema import DataType
+from repro.expr.expressions import Expr, expression_type
+
+
+class AggregateFunction(enum.Enum):
+    COUNT = "COUNT"        # COUNT(expr): non-null inputs
+    COUNT_STAR = "COUNT(*)"
+    SUM = "SUM"
+    MIN = "MIN"
+    MAX = "MAX"
+    AVG = "AVG"
+
+    @property
+    def is_decomposable(self) -> bool:
+        """Can this aggregate be split into partial + combining phases?
+
+        AVG is only decomposable via a SUM/COUNT rewrite, which the
+        GbAggSplit rule performs explicitly, so it reports False here.
+        """
+        return self is not AggregateFunction.AVG
+
+    @property
+    def combiner(self) -> "AggregateFunction":
+        """Function that combines partial results of this aggregate."""
+        if self in (AggregateFunction.COUNT, AggregateFunction.COUNT_STAR):
+            return AggregateFunction.SUM
+        if self is AggregateFunction.AVG:
+            raise ValueError("AVG is not directly decomposable")
+        return self
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """One aggregate invocation: function plus optional argument expression.
+
+    ``argument`` is ``None`` exactly for COUNT(*).
+    """
+
+    function: AggregateFunction
+    argument: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        if self.function is AggregateFunction.COUNT_STAR:
+            if self.argument is not None:
+                raise ValueError("COUNT(*) takes no argument")
+        elif self.argument is None:
+            raise ValueError(f"{self.function.value} requires an argument")
+
+    def result_type(self) -> DataType:
+        if self.function in (
+            AggregateFunction.COUNT,
+            AggregateFunction.COUNT_STAR,
+        ):
+            return DataType.INT
+        if self.function is AggregateFunction.AVG:
+            return DataType.FLOAT
+        assert self.argument is not None
+        arg_type = expression_type(self.argument)
+        if self.function is AggregateFunction.SUM and arg_type is DataType.INT:
+            return DataType.INT
+        return arg_type
+
+    def result_nullable(self) -> bool:
+        """COUNT variants return 0 (never NULL); the rest can return NULL."""
+        return self.function not in (
+            AggregateFunction.COUNT,
+            AggregateFunction.COUNT_STAR,
+        )
+
+    def __str__(self) -> str:
+        if self.function is AggregateFunction.COUNT_STAR:
+            return "COUNT(*)"
+        return f"{self.function.value}({self.argument})"
+
+
+class Accumulator:
+    """Streaming accumulator for one aggregate over one group."""
+
+    __slots__ = ("function", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, function: AggregateFunction) -> None:
+        self.function = function
+        self._count = 0
+        self._sum = 0
+        self._min = None
+        self._max = None
+
+    def add(self, value: object) -> None:
+        """Feed one input value (already-evaluated argument, or a dummy for
+        COUNT(*)).  NULL inputs are ignored except by COUNT(*)."""
+        if self.function is AggregateFunction.COUNT_STAR:
+            self._count += 1
+            return
+        if value is None:
+            return
+        self._count += 1
+        if self.function in (AggregateFunction.SUM, AggregateFunction.AVG):
+            self._sum += value
+        elif self.function is AggregateFunction.MIN:
+            if self._min is None or value < self._min:
+                self._min = value
+        elif self.function is AggregateFunction.MAX:
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def result(self) -> object:
+        """Final value for the group (SQL semantics for empty input)."""
+        if self.function in (
+            AggregateFunction.COUNT,
+            AggregateFunction.COUNT_STAR,
+        ):
+            return self._count
+        if self._count == 0:
+            return None
+        if self.function is AggregateFunction.SUM:
+            return self._sum
+        if self.function is AggregateFunction.AVG:
+            return self._sum / self._count
+        if self.function is AggregateFunction.MIN:
+            return self._min
+        return self._max

@@ -1,0 +1,92 @@
+"""Constant folding and predicate simplification.
+
+Used by the PredicateSimplification transformation rule and by the SQL
+generator (to avoid emitting vacuous ``WHERE TRUE`` clauses).  Folding obeys
+the same three-valued semantics as evaluation: ``x AND FALSE`` is FALSE,
+``x AND TRUE`` is ``x``, ``x OR NULL`` is *not* ``x`` (it maps UNKNOWN/FALSE
+inputs differently), so only sound rewrites are applied.
+"""
+
+from __future__ import annotations
+
+from repro.expr.eval import evaluate
+from repro.expr.expressions import (
+    FALSE,
+    TRUE,
+    Arithmetic,
+    BoolConnective,
+    BoolExpr,
+    Comparison,
+    Expr,
+    IsNull,
+    Literal,
+    Not,
+    expression_type,
+    referenced_columns,
+)
+
+
+def is_constant(expr: Expr) -> bool:
+    """True when ``expr`` references no columns."""
+    return not referenced_columns(expr)
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Evaluate column-free subtrees down to literals."""
+    if isinstance(expr, Literal):
+        return expr
+    if is_constant(expr):
+        value = evaluate(expr, (), {})
+        return Literal(value, expression_type(expr))
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op, fold_constants(expr.left), fold_constants(expr.right)
+        )
+    if isinstance(expr, Arithmetic):
+        return Arithmetic(
+            expr.op, fold_constants(expr.left), fold_constants(expr.right)
+        )
+    if isinstance(expr, Not):
+        return Not(fold_constants(expr.arg))
+    if isinstance(expr, IsNull):
+        return IsNull(fold_constants(expr.arg))
+    if isinstance(expr, BoolExpr):
+        return _fold_bool(expr)
+    return expr
+
+
+def _fold_bool(expr: BoolExpr) -> Expr:
+    args = [fold_constants(arg) for arg in expr.args]
+    if expr.op is BoolConnective.AND:
+        # FALSE dominates; TRUE is the identity.
+        if any(arg == FALSE for arg in args):
+            return FALSE
+        args = [arg for arg in args if arg != TRUE]
+        if not args:
+            return TRUE
+    else:
+        # TRUE dominates; FALSE is the identity.
+        if any(arg == TRUE for arg in args):
+            return TRUE
+        args = [arg for arg in args if arg != FALSE]
+        if not args:
+            return FALSE
+    if len(args) == 1:
+        return args[0]
+    return BoolExpr(expr.op, tuple(args))
+
+
+def simplify_predicate(expr: Expr) -> Expr:
+    """Fold constants and apply a few sound logical rewrites."""
+    folded = fold_constants(expr)
+    if isinstance(folded, Not):
+        inner = folded.arg
+        # Double negation.
+        if isinstance(inner, Not):
+            return simplify_predicate(inner.arg)
+        # De-invert comparisons only when neither side is nullable is NOT
+        # required here: NOT(a < b) == a >= b holds in 3VL because both are
+        # UNKNOWN exactly when an operand is NULL.
+        if isinstance(inner, Comparison):
+            return Comparison(inner.op.negated(), inner.left, inner.right)
+    return folded

@@ -1,0 +1,272 @@
+"""Cardinality estimation.
+
+Bottom-up estimation of row counts and per-column distinct counts, consumed
+by the cost model.  The formulas are the classic System-R style heuristics
+(equality selectivity ``1/ndv``, join selectivity ``1/max(ndv)``, fixed
+factors for ranges); they are deliberately simple but *monotone* -- richer
+predicates can only shrink estimates -- which together with the optimizer's
+exhaustive search yields the "well-behaved" property the paper's TOPK
+analysis relies on: disabling a rule never decreases the best plan's cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.catalog.schema import Catalog
+from repro.catalog.stats import StatsRepository
+from repro.expr.expressions import (
+    BoolConnective,
+    BoolExpr,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    IsNull,
+    Literal,
+    Not,
+    referenced_columns,
+)
+from repro.logical.operators import (
+    GbAgg,
+    Get,
+    Join,
+    JoinKind,
+    Limit,
+    LogicalOp,
+    OpKind,
+    Project,
+    Select,
+)
+
+#: Default selectivity for range predicates.
+RANGE_SELECTIVITY = 0.33
+#: Default selectivity when nothing better is known.
+DEFAULT_SELECTIVITY = 0.25
+#: Fraction of rows assumed to survive a semi/anti join without better info.
+SEMI_JOIN_FRACTION = 0.5
+
+
+@dataclass
+class RelEstimate:
+    """Estimated row count and per-column distinct counts."""
+
+    rows: float
+    ndv: Dict[int, float] = field(default_factory=dict)
+
+    def distinct(self, cid: int) -> float:
+        """NDV for column ``cid``, capped by the row count."""
+        value = self.ndv.get(cid, self.rows)
+        return max(1.0, min(value, self.rows)) if self.rows >= 1 else 1.0
+
+    def capped(self) -> "RelEstimate":
+        """Re-cap all NDVs by the (possibly reduced) row count."""
+        rows = max(self.rows, 0.0)
+        return RelEstimate(
+            rows=rows,
+            ndv={cid: min(v, max(rows, 1.0)) for cid, v in self.ndv.items()},
+        )
+
+
+class CardinalityEstimator:
+    """Derives :class:`RelEstimate` per operator, bottom-up."""
+
+    def __init__(self, catalog: Catalog, stats: StatsRepository) -> None:
+        self.catalog = catalog
+        self.stats = stats
+
+    # -------------------------------------------------------------- tree mode
+
+    def estimate_tree(self, op: LogicalOp) -> RelEstimate:
+        children = tuple(self.estimate_tree(child) for child in op.children)
+        return self.estimate(op, children)
+
+    # --------------------------------------------------------------- dispatch
+
+    def estimate(
+        self, op: LogicalOp, child_estimates: Tuple[RelEstimate, ...]
+    ) -> RelEstimate:
+        handler = self._HANDLERS[op.kind]
+        return handler(self, op, child_estimates)
+
+    # ------------------------------------------------------------ selectivity
+
+    def selectivity(self, predicate: Expr, estimate: RelEstimate) -> float:
+        """Estimated fraction of rows satisfying ``predicate``."""
+        if isinstance(predicate, Literal):
+            if predicate.value is True:
+                return 1.0
+            return 0.0
+        if isinstance(predicate, BoolExpr):
+            parts = [self.selectivity(arg, estimate) for arg in predicate.args]
+            if predicate.op is BoolConnective.AND:
+                result = 1.0
+                for part in parts:
+                    result *= part
+                return result
+            result = 0.0
+            for part in parts:
+                result = result + part - result * part
+            return result
+        if isinstance(predicate, Not):
+            return max(0.0, 1.0 - self.selectivity(predicate.arg, estimate))
+        if isinstance(predicate, IsNull):
+            return 0.1
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate, estimate)
+        return DEFAULT_SELECTIVITY
+
+    def _comparison_selectivity(
+        self, predicate: Comparison, estimate: RelEstimate
+    ) -> float:
+        left, right = predicate.left, predicate.right
+        left_col = left.column if isinstance(left, ColumnRef) else None
+        right_col = right.column if isinstance(right, ColumnRef) else None
+        if predicate.op is ComparisonOp.EQ:
+            if left_col and right_col:
+                ndv = max(
+                    estimate.distinct(left_col.cid),
+                    estimate.distinct(right_col.cid),
+                )
+                return 1.0 / ndv
+            column = left_col or right_col
+            if column is not None and not referenced_columns(
+                right if column is left_col else left
+            ):
+                return 1.0 / estimate.distinct(column.cid)
+            return DEFAULT_SELECTIVITY
+        if predicate.op is ComparisonOp.NE:
+            return 0.9
+        return RANGE_SELECTIVITY
+
+    # ---------------------------------------------------------------- per-op
+
+    def _estimate_get(self, op: Get, children) -> RelEstimate:
+        if self.stats.has(op.table):
+            table_stats = self.stats.get(op.table)
+            rows = float(table_stats.row_count)
+            ndv = {
+                column.cid: float(table_stats.distinct(column.name))
+                for column in op.columns
+            }
+        else:
+            rows = float(StatsRepository.default_row_count())
+            ndv = {column.cid: rows for column in op.columns}
+        return RelEstimate(rows=max(rows, 0.0), ndv=ndv)
+
+    def _estimate_select(self, op: Select, children) -> RelEstimate:
+        (child,) = children
+        fraction = self.selectivity(op.predicate, child)
+        return RelEstimate(
+            rows=child.rows * fraction, ndv=dict(child.ndv)
+        ).capped()
+
+    def _estimate_project(self, op: Project, children) -> RelEstimate:
+        (child,) = children
+        ndv: Dict[int, float] = {}
+        for column, expr in op.outputs:
+            if isinstance(expr, ColumnRef):
+                ndv[column.cid] = child.distinct(expr.column.cid)
+            else:
+                ndv[column.cid] = child.rows
+        return RelEstimate(rows=child.rows, ndv=ndv).capped()
+
+    def _estimate_join(self, op: Join, children) -> RelEstimate:
+        left, right = children
+        kind = op.join_kind
+        if kind in (JoinKind.SEMI, JoinKind.ANTI):
+            rows = left.rows * SEMI_JOIN_FRACTION
+            return RelEstimate(rows=rows, ndv=dict(left.ndv)).capped()
+        combined = RelEstimate(
+            rows=left.rows * right.rows, ndv={**left.ndv, **right.ndv}
+        )
+        if kind is JoinKind.CROSS:
+            return combined.capped()
+        fraction = self.selectivity(op.predicate, combined)
+        rows = combined.rows * fraction
+        if kind is JoinKind.LEFT_OUTER:
+            rows = max(rows, left.rows)
+        return RelEstimate(rows=rows, ndv=combined.ndv).capped()
+
+    def _estimate_gbagg(self, op: GbAgg, children) -> RelEstimate:
+        (child,) = children
+        if not op.group_by:
+            rows = 1.0
+        else:
+            groups = 1.0
+            for column in op.group_by:
+                groups *= child.distinct(column.cid)
+            rows = min(child.rows, groups)
+        ndv = {column.cid: rows for column in op.output_columns}
+        for column in op.group_by:
+            ndv[column.cid] = min(child.distinct(column.cid), max(rows, 1.0))
+        return RelEstimate(rows=max(rows, 0.0), ndv=ndv).capped()
+
+    def _estimate_union_all(self, op, children) -> RelEstimate:
+        left, right = children
+        rows = left.rows + right.rows
+        ndv = {}
+        for out, lcol, rcol in zip(
+            op.output_columns, op.left_columns, op.right_columns
+        ):
+            ndv[out.cid] = left.distinct(lcol.cid) + right.distinct(rcol.cid)
+        return RelEstimate(rows=rows, ndv=ndv).capped()
+
+    def _estimate_union(self, op, children) -> RelEstimate:
+        merged = self._estimate_union_all(op, children)
+        distinct_rows = 1.0
+        for out in op.output_columns:
+            distinct_rows *= merged.distinct(out.cid)
+        rows = min(merged.rows, distinct_rows)
+        return RelEstimate(rows=rows, ndv=merged.ndv).capped()
+
+    def _estimate_intersect(self, op, children) -> RelEstimate:
+        left, right = children
+        rows = min(left.rows, right.rows) * 0.5
+        ndv = {
+            out.cid: left.distinct(lcol.cid)
+            for out, lcol in zip(op.output_columns, op.left_columns)
+        }
+        return RelEstimate(rows=rows, ndv=ndv).capped()
+
+    def _estimate_except(self, op, children) -> RelEstimate:
+        left, right = children
+        rows = max(left.rows * 0.5, left.rows - right.rows)
+        ndv = {
+            out.cid: left.distinct(lcol.cid)
+            for out, lcol in zip(op.output_columns, op.left_columns)
+        }
+        return RelEstimate(rows=rows, ndv=ndv).capped()
+
+    def _estimate_distinct(self, op, children) -> RelEstimate:
+        (child,) = children
+        distinct_rows = 1.0
+        for cid in child.ndv:
+            distinct_rows *= child.distinct(cid)
+        rows = min(child.rows, distinct_rows)
+        return RelEstimate(rows=rows, ndv=dict(child.ndv)).capped()
+
+    def _estimate_sort(self, op, children) -> RelEstimate:
+        (child,) = children
+        return child
+
+    def _estimate_limit(self, op: Limit, children) -> RelEstimate:
+        (child,) = children
+        rows = min(child.rows, float(op.count))
+        return RelEstimate(rows=rows, ndv=dict(child.ndv)).capped()
+
+    _HANDLERS = {
+        OpKind.GET: _estimate_get,
+        OpKind.SELECT: _estimate_select,
+        OpKind.PROJECT: _estimate_project,
+        OpKind.JOIN: _estimate_join,
+        OpKind.GB_AGG: _estimate_gbagg,
+        OpKind.UNION_ALL: _estimate_union_all,
+        OpKind.UNION: _estimate_union,
+        OpKind.INTERSECT: _estimate_intersect,
+        OpKind.EXCEPT: _estimate_except,
+        OpKind.DISTINCT: _estimate_distinct,
+        OpKind.SORT: _estimate_sort,
+        OpKind.LIMIT: _estimate_limit,
+    }

@@ -1,0 +1,178 @@
+"""Structural validation of logical query trees.
+
+The query generators build trees programmatically; this validator catches
+construction bugs early (dangling column references, misaligned set-operation
+inputs, duplicate column ids in a schema) instead of letting them surface as
+confusing optimizer or executor failures.  Every generated query is validated
+before being handed to the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.catalog.schema import Catalog
+from repro.expr.expressions import Column, Expr, referenced_columns
+from repro.logical.operators import (
+    GbAgg,
+    Get,
+    Join,
+    JoinKind,
+    LogicalOp,
+    Project,
+    Select,
+    Sort,
+    is_set_op,
+)
+
+
+class ValidationError(Exception):
+    """Raised when a logical tree is structurally invalid."""
+
+
+def _check_refs(
+    expr: Expr, visible: FrozenSet[int], where: str
+) -> None:
+    for column in referenced_columns(expr):
+        if column.cid not in visible:
+            raise ValidationError(
+                f"{where}: column {column.qualified_name}#{column.cid} "
+                "is not visible from the operator's inputs"
+            )
+
+
+def _ids(columns: Tuple[Column, ...]) -> FrozenSet[int]:
+    return frozenset(column.cid for column in columns)
+
+
+def validate_tree(op: LogicalOp, catalog: Catalog) -> Tuple[Column, ...]:
+    """Validate ``op`` recursively; returns its output columns.
+
+    Raises :class:`ValidationError` on the first structural problem.
+    """
+    child_outputs = tuple(
+        validate_tree(child, catalog) for child in op.children
+    )
+
+    if isinstance(op, Get):
+        table = catalog.table(op.table)
+        if len(op.columns) != len(table.columns):
+            raise ValidationError(
+                f"Get({op.table}): bound {len(op.columns)} columns, table "
+                f"has {len(table.columns)}"
+            )
+        for bound, defined in zip(op.columns, table.columns):
+            if bound.name != defined.name:
+                raise ValidationError(
+                    f"Get({op.table}): bound column {bound.name!r} does not "
+                    f"match table column {defined.name!r}"
+                )
+        outputs = op.columns
+
+    elif isinstance(op, Select):
+        (child,) = child_outputs
+        _check_refs(op.predicate, _ids(child), "Select predicate")
+        outputs = child
+
+    elif isinstance(op, Project):
+        (child,) = child_outputs
+        visible = _ids(child)
+        seen = set()
+        for column, expr in op.outputs:
+            _check_refs(expr, visible, f"Project output {column.name}")
+            if column.cid in seen:
+                raise ValidationError(
+                    f"Project: duplicate output column id {column.cid}"
+                )
+            seen.add(column.cid)
+        outputs = op.output_columns
+
+    elif isinstance(op, Join):
+        left, right = child_outputs
+        overlap = _ids(left) & _ids(right)
+        if overlap:
+            raise ValidationError(
+                f"Join: inputs share column ids {sorted(overlap)}"
+            )
+        _check_refs(op.predicate, _ids(left) | _ids(right), "Join predicate")
+        if op.join_kind in (JoinKind.SEMI, JoinKind.ANTI):
+            outputs = left
+        else:
+            outputs = left + right
+
+    elif isinstance(op, GbAgg):
+        (child,) = child_outputs
+        visible = _ids(child)
+        for column in op.group_by:
+            if column.cid not in visible:
+                raise ValidationError(
+                    f"GbAgg: grouping column {column.qualified_name} not in "
+                    "input"
+                )
+        seen = {column.cid for column in op.group_by}
+        for column, call in op.aggregates:
+            if call.argument is not None:
+                _check_refs(
+                    call.argument, visible, f"aggregate {column.name}"
+                )
+            if column.cid in seen:
+                raise ValidationError(
+                    f"GbAgg: duplicate output column id {column.cid}"
+                )
+            seen.add(column.cid)
+        outputs = op.output_columns
+
+    elif is_set_op(op):
+        left, right = child_outputs
+        # Branch columns select (a subset of) each input's columns, one per
+        # output position; the executor projects each branch onto them.
+        if not _ids(op.left_columns) <= _ids(left):
+            raise ValidationError(
+                f"{op.kind.value}: left_columns not drawn from left input"
+            )
+        if not _ids(op.right_columns) <= _ids(right):
+            raise ValidationError(
+                f"{op.kind.value}: right_columns not drawn from right input"
+            )
+        widths = {
+            len(op.output_columns),
+            len(op.left_columns),
+            len(op.right_columns),
+        }
+        if len(widths) != 1:
+            raise ValidationError(f"{op.kind.value}: column count mismatch")
+        for out, lcol, rcol in zip(
+            op.output_columns, op.left_columns, op.right_columns
+        ):
+            if out.data_type is not lcol.data_type and not (
+                out.data_type.is_numeric and lcol.data_type.is_numeric
+            ):
+                raise ValidationError(
+                    f"{op.kind.value}: output {out.name} type mismatch with "
+                    "left input"
+                )
+            if lcol.data_type is not rcol.data_type and not (
+                lcol.data_type.is_numeric and rcol.data_type.is_numeric
+            ):
+                raise ValidationError(
+                    f"{op.kind.value}: branch types not union-compatible for "
+                    f"{out.name}"
+                )
+        outputs = op.output_columns
+
+    elif isinstance(op, Sort):
+        (child,) = child_outputs
+        visible = _ids(child)
+        for key in op.keys:
+            if key.column.cid not in visible:
+                raise ValidationError(
+                    f"Sort: key column {key.column.qualified_name} not in "
+                    "input"
+                )
+        outputs = child
+
+    else:  # Distinct, Limit
+        (child,) = child_outputs
+        outputs = child
+
+    return outputs

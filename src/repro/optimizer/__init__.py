@@ -1,0 +1,24 @@
+"""The Cascades-style memo optimizer."""
+
+from repro.optimizer.config import DEFAULT_CONFIG, OptimizerConfig
+from repro.optimizer.engine import Optimizer, OptimizerContext
+from repro.optimizer.memo import Group, GroupExpr, Memo, MemoBudgetExceeded
+from repro.optimizer.result import (
+    MemoStats,
+    OptimizationError,
+    OptimizeResult,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Group",
+    "GroupExpr",
+    "Memo",
+    "MemoBudgetExceeded",
+    "MemoStats",
+    "OptimizationError",
+    "OptimizeResult",
+    "Optimizer",
+    "OptimizerConfig",
+    "OptimizerContext",
+]

@@ -1,0 +1,51 @@
+"""Pattern-to-memo binding enumeration.
+
+Given a memo expression (operator with group-reference children) and a rule
+pattern, enumerate every way the pattern can bind to the memo: generic
+pattern leaves stay as group references; non-generic pattern children are
+expanded against each logical expression in the corresponding child group.
+This is the Cascades "binding iterator".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List
+
+from repro.logical.operators import GroupRef, LogicalOp
+from repro.rules.framework import PatternNode
+
+
+def bindings(
+    op: LogicalOp, pattern: PatternNode, memo
+) -> Iterator[LogicalOp]:
+    """Yield all bindings of ``pattern`` rooted at memo expression ``op``.
+
+    Yielded trees are operators whose children are either GroupRefs (at
+    generic pattern positions) or deeper bound operators (at structured
+    pattern positions).
+    """
+    if not pattern.matches_op(op):
+        return
+    if pattern.is_generic:
+        yield op
+        return
+    if len(pattern.children) != len(op.children):
+        return
+
+    options: List[List[object]] = []
+    for child, sub_pattern in zip(op.children, pattern.children):
+        if sub_pattern.is_generic:
+            options.append([child])
+            continue
+        assert isinstance(child, GroupRef), "memo expressions have GroupRef children"
+        group = memo.group(child.group_id)
+        child_bindings: List[object] = []
+        for child_expr in list(group.logical_exprs):
+            child_bindings.extend(bindings(child_expr.op, sub_pattern, memo))
+        if not child_bindings:
+            return
+        options.append(child_bindings)
+
+    for combination in itertools.product(*options):
+        yield op.with_children(tuple(combination))

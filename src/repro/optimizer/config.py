@@ -1,0 +1,42 @@
+"""Optimizer configuration.
+
+``disabled_rules`` is the paper's rule on/off switch (Section 2.3, "Query
+Optimizer Extensions"): optimizing a query ``q`` under a config with rules
+``R`` disabled yields ``Plan(q, ¬R)`` and ``Cost(q, ¬R)``.
+
+The budget caps keep exploration finite even for rule combinations that can
+generate unboundedly many fresh-column expressions (e.g. repeated union
+re-association); hitting a cap stops exploration cleanly and optimization
+proceeds with the alternatives found so far -- the same pruning posture the
+paper attributes to production optimizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Knobs for one optimization run."""
+
+    disabled_rules: FrozenSet[str] = frozenset()
+    max_groups: int = 4000
+    max_exprs_per_group: int = 64
+    max_rule_applications: int = 50_000
+
+    def with_disabled(self, names: Iterable[str]) -> "OptimizerConfig":
+        """This config with additional rules disabled."""
+        return OptimizerConfig(
+            disabled_rules=self.disabled_rules | frozenset(names),
+            max_groups=self.max_groups,
+            max_exprs_per_group=self.max_exprs_per_group,
+            max_rule_applications=self.max_rule_applications,
+        )
+
+    def is_disabled(self, rule_name: str) -> bool:
+        return rule_name in self.disabled_rules
+
+
+DEFAULT_CONFIG = OptimizerConfig()

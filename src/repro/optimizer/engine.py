@@ -1,0 +1,349 @@
+"""The Cascades-style optimizer engine.
+
+Optimization proceeds in the classic two phases:
+
+1. **Exploration**: every (group expression, exploration rule) pair is tried
+   at most once; successful substitutions add equivalent expressions to the
+   memo, which are themselves explored, until a fixpoint (or a budget cap)
+   is reached.  The engine records which rules were exercised -- the paper's
+   ``RuleSet(q)`` tracking extension.
+2. **Implementation**: top-down dynamic programming over (group, required
+   ordering).  Implementation rules produce physical alternatives; a Sort
+   enforcer satisfies ordering requirements nothing provides natively; the
+   cheapest alternative per (group, ordering) wins.
+
+Rules listed in ``config.disabled_rules`` are skipped entirely, yielding
+``Plan(q, ¬R)`` / ``Cost(q, ¬R)`` exactly as the paper's optimizer
+extensions do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.catalog.schema import Catalog
+from repro.catalog.stats import StatsRepository
+from repro.logical.cardinality import CardinalityEstimator, RelEstimate
+from repro.logical.operators import GroupRef, LogicalOp, SortKey
+from repro.logical.properties import LogicalProps, PropertyDeriver
+from repro.optimizer.binding import bindings
+from repro.optimizer.config import DEFAULT_CONFIG, OptimizerConfig
+from repro.optimizer.memo import Group, GroupExpr, Memo, MemoBudgetExceeded
+from repro.optimizer.result import MemoStats, OptimizationError, OptimizeResult
+from repro.physical.cost import INFINITE_COST, local_cost, sort_cost
+from repro.physical.operators import (
+    Ordering,
+    PhysicalOp,
+    Sort as PhysicalSort,
+    ordering_satisfies,
+)
+from repro.rules.framework import Rule, RuleContext
+from repro.rules.registry import RuleRegistry, default_registry
+
+
+class OptimizerContext(RuleContext):
+    """Rule-facing view of the memo: properties/estimates of binding nodes."""
+
+    def __init__(self, memo: Memo, deriver, estimator, catalog) -> None:
+        self._memo = memo
+        self._deriver = deriver
+        self._estimator = estimator
+        self._catalog = catalog
+
+    @property
+    def catalog(self):
+        return self._catalog
+
+    def props(self, node) -> LogicalProps:
+        if isinstance(node, GroupRef):
+            return self._memo.group(node.group_id).props
+        child_props = tuple(self.props(child) for child in node.children)
+        return self._deriver.derive(node, child_props)
+
+    def estimate(self, node) -> RelEstimate:
+        if isinstance(node, GroupRef):
+            return self._memo.group(node.group_id).estimate
+        child_estimates = tuple(
+            self.estimate(child) for child in node.children
+        )
+        return self._estimator.estimate(node, child_estimates)
+
+
+@dataclass
+class Winner:
+    """Best plan for one (group, required ordering)."""
+
+    cost: float
+    op: Optional[PhysicalOp]  # memo form; None marks a Sort enforcer
+    child_orderings: Tuple[Ordering, ...]
+    provided: Ordering
+
+
+class Optimizer:
+    """Rule-based query optimizer over a catalog and statistics."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: StatsRepository,
+        registry: Optional[RuleRegistry] = None,
+        config: OptimizerConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.catalog = catalog
+        self.stats = stats
+        self.registry = registry or default_registry()
+        self.config = config
+        self._deriver = PropertyDeriver(catalog)
+        self._estimator = CardinalityEstimator(catalog, stats)
+
+    # ------------------------------------------------------------------ public
+
+    def optimize(self, tree: LogicalOp) -> OptimizeResult:
+        """Optimize a logical query tree into a physical plan."""
+        output_columns = self._deriver.derive_tree(tree).columns
+        memo = Memo(
+            self._deriver,
+            self._estimator,
+            self.config.max_groups,
+            self.config.max_exprs_per_group,
+        )
+        ctx = OptimizerContext(memo, self._deriver, self._estimator, self.catalog)
+        exercised: Set[str] = set()
+        interactions: Set[tuple] = set()
+        budget_exhausted = False
+        applications = 0
+
+        try:
+            root_id = memo.intern_tree(tree)
+        except MemoBudgetExceeded:
+            raise OptimizationError("query too large for memo budget")
+
+        # ---------------------------------------------------------- explore
+        queue = deque(memo.drain_fresh())
+        active_rules = [
+            rule
+            for rule in self.registry.exploration_rules
+            if not self.config.is_disabled(rule.name)
+        ]
+        try:
+            while queue:
+                expr = queue.popleft()
+                for rule in active_rules:
+                    if applications >= self.config.max_rule_applications:
+                        raise MemoBudgetExceeded("rule application cap")
+                    if rule.name in expr.applied_rules:
+                        continue
+                    expr.applied_rules.add(rule.name)
+                    new_exprs = self._apply_rule(
+                        rule, expr, memo, ctx, exercised, interactions
+                    )
+                    if new_exprs is None:
+                        continue
+                    applications += 1
+                    queue.extend(new_exprs)
+        except MemoBudgetExceeded:
+            budget_exhausted = True
+
+        # -------------------------------------------------------- implement
+        implementer = _Implementer(
+            memo,
+            ctx,
+            [
+                rule
+                for rule in self.registry.implementation_rules
+                if not self.config.is_disabled(rule.name)
+            ],
+            exercised,
+        )
+        winner = implementer.best_plan(root_id, ())
+        if winner is None or winner.cost == INFINITE_COST:
+            raise OptimizationError(
+                "no physical plan found (are implementation rules disabled?)"
+            )
+        plan = implementer.extract(root_id, ())
+
+        stats = MemoStats(
+            group_count=len(memo.groups),
+            expr_count=memo.total_exprs,
+            rule_applications=applications,
+            budget_exhausted=budget_exhausted,
+        )
+        return OptimizeResult(
+            plan=plan,
+            cost=winner.cost,
+            rules_exercised=frozenset(exercised),
+            output_columns=output_columns,
+            logical_tree=tree,
+            stats=stats,
+            rule_interactions=frozenset(interactions),
+        )
+
+    # ---------------------------------------------------------------- private
+
+    def _apply_rule(
+        self,
+        rule: Rule,
+        expr: GroupExpr,
+        memo: Memo,
+        ctx: OptimizerContext,
+        exercised: Set[str],
+        interactions: Set[tuple],
+    ) -> Optional[List[GroupExpr]]:
+        """Try ``rule`` on ``expr``; returns new exprs or None if no match."""
+        produced_any = False
+        for binding in bindings(expr.op, rule.pattern, memo):
+            if not rule.precondition(binding, ctx):
+                continue
+            for substitute in rule.substitute(binding, ctx):
+                produced_any = True
+                if isinstance(substitute, GroupRef):
+                    memo.absorb_group(expr.group_id, substitute.group_id)
+                else:
+                    memo.add_to_group(expr.group_id, substitute)
+        # Everything the substitutions created -- including expressions of
+        # newly interned child groups -- must itself be explored.
+        new_exprs = memo.drain_fresh()
+        for new_expr in new_exprs:
+            if new_expr.created_by is None:
+                new_expr.created_by = rule.name
+        if not produced_any:
+            return None
+        exercised.add(rule.name)
+        if expr.created_by is not None and expr.created_by != rule.name:
+            # Section 7's derived interaction: this rule fired on an
+            # expression another rule's substitution created.
+            interactions.add((expr.created_by, rule.name))
+        return new_exprs
+
+
+class _Implementer:
+    """Top-down cost-based implementation over the explored memo."""
+
+    def __init__(
+        self,
+        memo: Memo,
+        ctx: OptimizerContext,
+        rules: List[Rule],
+        exercised: Set[str],
+    ) -> None:
+        self._memo = memo
+        self._ctx = ctx
+        self._rules = rules
+        self._exercised = exercised
+        self._winners: Dict[Tuple[int, Ordering], Optional[Winner]] = {}
+        self._in_progress: Set[Tuple[int, Ordering]] = set()
+
+    # ------------------------------------------------------------- best plan
+
+    def best_plan(self, group_id: int, required: Ordering) -> Optional[Winner]:
+        key = (group_id, required)
+        if key in self._winners:
+            return self._winners[key]
+        if key in self._in_progress:
+            return None  # cycle guard (can only arise via group absorption)
+        self._in_progress.add(key)
+        try:
+            winner = self._compute_best(group_id, required)
+        finally:
+            self._in_progress.discard(key)
+        self._winners[key] = winner
+        return winner
+
+    def _compute_best(
+        self, group_id: int, required: Ordering
+    ) -> Optional[Winner]:
+        group = self._memo.group(group_id)
+        best: Optional[Winner] = None
+
+        for expr in list(group.logical_exprs):
+            for rule in self._rules:
+                for binding in bindings(expr.op, rule.pattern, self._memo):
+                    if not rule.precondition(binding, self._ctx):
+                        continue
+                    for phys in rule.substitute(binding, self._ctx):
+                        self._exercised.add(rule.name)
+                        candidate = self._cost_physical(
+                            phys, group, required
+                        )
+                        if candidate and (
+                            best is None or candidate.cost < best.cost
+                        ):
+                            best = candidate
+
+        # Sort enforcer: take the unordered winner and sort it.
+        if required:
+            base = self.best_plan(group_id, ())
+            if base is not None:
+                total = base.cost + sort_cost(group.estimate.rows)
+                if best is None or total < best.cost:
+                    best = Winner(
+                        cost=total,
+                        op=None,
+                        child_orderings=(),
+                        provided=required,
+                    )
+        return best
+
+    def _cost_physical(
+        self, phys: PhysicalOp, group: Group, required: Ordering
+    ) -> Optional[Winner]:
+        child_requirements = phys.required_child_orderings()
+        child_winners = []
+        child_rows = []
+        for child, child_required in zip(phys.children, child_requirements):
+            assert isinstance(child, GroupRef)
+            child_winner = self.best_plan(child.group_id, child_required)
+            if child_winner is None or child_winner.cost == INFINITE_COST:
+                return None
+            child_winners.append(child_winner)
+            child_rows.append(self._memo.group(child.group_id).estimate.rows)
+
+        provided = phys.provided_ordering(
+            tuple(winner.provided for winner in child_winners)
+        )
+        if not ordering_satisfies(provided, required):
+            return None
+        cost = local_cost(phys, tuple(child_rows), group.estimate.rows)
+        cost += sum(winner.cost for winner in child_winners)
+        return Winner(
+            cost=cost,
+            op=phys,
+            child_orderings=child_requirements,
+            provided=provided,
+        )
+
+    # ------------------------------------------------------------ extraction
+
+    def extract(self, group_id: int, required: Ordering) -> PhysicalOp:
+        """Materialize the winning plan as a concrete physical tree."""
+        winner = self._winners.get((group_id, required))
+        if winner is None:
+            raise OptimizationError(
+                f"no winner recorded for group {group_id} ordering {required}"
+            )
+        group = self._memo.group(group_id)
+        if winner.op is None:  # Sort enforcer
+            child = self.extract(group_id, ())
+            keys = _sort_keys_for(required, group.props)
+            return PhysicalSort(child, keys)
+        children = tuple(
+            self.extract(child.group_id, child_required)
+            for child, child_required in zip(
+                winner.op.children, winner.child_orderings
+            )
+        )
+        return winner.op.with_children(children)
+
+
+def _sort_keys_for(ordering: Ordering, props: LogicalProps):
+    by_id = {column.cid: column for column in props.columns}
+    keys = []
+    for cid, ascending in ordering:
+        if cid not in by_id:
+            raise OptimizationError(
+                f"enforcer ordering references unknown column id {cid}"
+            )
+        keys.append(SortKey(by_id[cid], ascending))
+    return tuple(keys)

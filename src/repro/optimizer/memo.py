@@ -1,0 +1,197 @@
+"""The memo: groups of equivalent expressions.
+
+The memo is the core Cascades data structure: a *group* collects logically
+equivalent expressions; a *group expression* is an operator whose children
+are :class:`GroupRef` placeholders pointing at other groups.  Structural
+deduplication (one interning table across the whole memo) keeps exploration
+finite for rules that do not manufacture fresh columns; explicit budget caps
+(see :class:`~repro.optimizer.config.OptimizerConfig`) bound the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.logical.cardinality import CardinalityEstimator, RelEstimate
+from repro.logical.operators import GroupRef, LogicalOp
+from repro.logical.properties import LogicalProps, PropertyDeriver
+
+
+@dataclass
+class GroupExpr:
+    """One logical expression inside a group (children are GroupRefs)."""
+
+    op: LogicalOp
+    group_id: int
+    #: Names of exploration rules already attempted on this expression
+    #: (the Cascades per-expression rule mask).
+    applied_rules: Set[str] = field(default_factory=set)
+    #: Name of the rule whose substitution created this expression, or None
+    #: for expressions of the initial query tree.  Drives the derived-
+    #: interaction tracking of Section 7 ("rule r2 is exercised on an
+    #: expression which was obtained as a result of exercising rule r1").
+    created_by: Optional[str] = None
+
+
+class Group:
+    """A set of logically equivalent expressions plus derived properties."""
+
+    def __init__(
+        self, group_id: int, props: LogicalProps, estimate: RelEstimate
+    ) -> None:
+        self.group_id = group_id
+        self.props = props
+        self.estimate = estimate
+        self.logical_exprs: List[GroupExpr] = []
+        self._logical_set: Set[LogicalOp] = set()
+        #: Winners per required ordering, filled in by implementation.
+        self.winners: Dict[Tuple, object] = {}
+
+    def contains(self, op: LogicalOp) -> bool:
+        return op in self._logical_set
+
+    def add(self, op: LogicalOp) -> Optional[GroupExpr]:
+        """Add ``op`` to this group; returns the new expr or None if dup."""
+        if op in self._logical_set:
+            return None
+        expr = GroupExpr(op=op, group_id=self.group_id)
+        self.logical_exprs.append(expr)
+        self._logical_set.add(op)
+        return expr
+
+    def __repr__(self) -> str:
+        return f"<Group {self.group_id}: {len(self.logical_exprs)} exprs>"
+
+
+class MemoBudgetExceeded(Exception):
+    """Raised internally when a memo cap is hit; exploration stops cleanly."""
+
+
+class Memo:
+    """All groups of one optimization run."""
+
+    def __init__(
+        self,
+        deriver: PropertyDeriver,
+        estimator: CardinalityEstimator,
+        max_groups: int,
+        max_exprs_per_group: int,
+    ) -> None:
+        self._deriver = deriver
+        self._estimator = estimator
+        self._max_groups = max_groups
+        self._max_exprs_per_group = max_exprs_per_group
+        self.groups: List[Group] = []
+        #: Global interning table: memo-form operator -> owning group id.
+        self._interned: Dict[LogicalOp, int] = {}
+        #: Expressions created since the last :meth:`drain_fresh` call.
+        #: Substitutions can intern whole subtrees, creating expressions in
+        #: *new child groups*; the engine must explore those too, so every
+        #: creation path records the expression here.
+        self._fresh: List[GroupExpr] = []
+
+    def group(self, group_id: int) -> Group:
+        return self.groups[group_id]
+
+    @property
+    def total_exprs(self) -> int:
+        return sum(len(group.logical_exprs) for group in self.groups)
+
+    # ------------------------------------------------------------- interning
+
+    def intern_tree(self, op: LogicalOp) -> int:
+        """Recursively intern a logical tree; returns the root group id."""
+        memo_form = self._to_memo_form(op)
+        existing = self._interned.get(memo_form)
+        if existing is not None:
+            return existing
+        return self._new_group_for(memo_form)
+
+    def _to_memo_form(self, op: LogicalOp) -> LogicalOp:
+        """Rewrite ``op``'s operator children into group references."""
+        children = []
+        for child in op.children:
+            if isinstance(child, GroupRef):
+                children.append(child)
+            else:
+                children.append(GroupRef(self.intern_tree(child)))
+        return op.with_children(tuple(children))
+
+    def _new_group_for(self, memo_form: LogicalOp) -> int:
+        if len(self.groups) >= self._max_groups:
+            raise MemoBudgetExceeded(
+                f"group cap {self._max_groups} exceeded"
+            )
+        group_id = len(self.groups)
+        props, estimate = self._derive(memo_form)
+        group = Group(group_id, props, estimate)
+        self.groups.append(group)
+        expr = group.add(memo_form)
+        if expr is not None:
+            self._fresh.append(expr)
+        self._interned[memo_form] = group_id
+        return group_id
+
+    def _derive(self, memo_form: LogicalOp):
+        child_props = []
+        child_estimates = []
+        for child in memo_form.children:
+            assert isinstance(child, GroupRef)
+            child_group = self.group(child.group_id)
+            child_props.append(child_group.props)
+            child_estimates.append(child_group.estimate)
+        props = self._deriver.derive(memo_form, tuple(child_props))
+        estimate = self._estimator.estimate(memo_form, tuple(child_estimates))
+        return props, estimate
+
+    # ----------------------------------------------------- adding substitutes
+
+    def add_to_group(self, group_id: int, op: LogicalOp) -> Optional[GroupExpr]:
+        """Intern a substitute tree and add its root to group ``group_id``.
+
+        Returns the new :class:`GroupExpr`, or None if it was a duplicate
+        within that group.
+        """
+        group = self.group(group_id)
+        if len(group.logical_exprs) >= self._max_exprs_per_group:
+            raise MemoBudgetExceeded(
+                f"expression cap {self._max_exprs_per_group} exceeded in "
+                f"group {group_id}"
+            )
+        memo_form = self._to_memo_form(op)
+        expr = group.add(memo_form)
+        if expr is not None:
+            self._fresh.append(expr)
+            if memo_form not in self._interned:
+                self._interned[memo_form] = group_id
+        return expr
+
+    def absorb_group(self, target_id: int, source_id: int) -> List[GroupExpr]:
+        """Copy ``source``'s logical expressions into ``target``.
+
+        Used when a substitution yields a bare group reference ("this group
+        is equivalent to that one"), e.g. RemoveTrivialProject.  A one-shot
+        copy rather than a full Cascades group merge; sufficient because the
+        framework needs alternatives, not exhaustive equivalence closure.
+        """
+        if target_id == source_id:
+            return []
+        target = self.group(target_id)
+        source = self.group(source_id)
+        added = []
+        for expr in list(source.logical_exprs):
+            if len(target.logical_exprs) >= self._max_exprs_per_group:
+                break
+            new_expr = target.add(expr.op)
+            if new_expr is not None:
+                new_expr.created_by = expr.created_by
+                self._fresh.append(new_expr)
+                added.append(new_expr)
+        return added
+
+    def drain_fresh(self) -> List[GroupExpr]:
+        """Return (and clear) the expressions created since the last call."""
+        fresh = self._fresh
+        self._fresh = []
+        return fresh

@@ -1,0 +1,57 @@
+"""Optimization results.
+
+:class:`OptimizeResult` is the framework's window into the optimizer --
+``rules_exercised`` is the paper's ``RuleSet(q)`` and ``cost`` its
+``Cost(q)`` (or ``Cost(q, ¬R)`` when rules were disabled in the config).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.expr.expressions import Column
+from repro.logical.operators import LogicalOp
+from repro.physical.operators import PhysicalOp
+
+
+class OptimizationError(Exception):
+    """Raised when no executable plan can be produced."""
+
+
+@dataclass(frozen=True)
+class MemoStats:
+    """Search-effort counters for one optimization."""
+
+    group_count: int
+    expr_count: int
+    rule_applications: int
+    budget_exhausted: bool
+
+
+@dataclass(frozen=True)
+class OptimizeResult:
+    """The output of one optimizer invocation."""
+
+    #: The chosen physical plan (an executable operator tree).
+    plan: PhysicalOp
+    #: Estimated cost of :attr:`plan` in cost units.
+    cost: float
+    #: ``RuleSet(q)``: names of rules exercised during this optimization.
+    rules_exercised: FrozenSet[str]
+    #: Output columns of the original query, in presentation order.
+    output_columns: Tuple[Column, ...]
+    #: The logical tree the optimizer was initialized with.
+    logical_tree: LogicalOp
+    #: Search-effort counters.
+    stats: MemoStats
+    #: Derived rule interactions (Section 7): ``(producer, consumer)`` pairs
+    #: where ``consumer`` was exercised on an expression created by
+    #: ``producer``'s substitution.
+    rule_interactions: FrozenSet[Tuple[str, str]] = frozenset()
+
+    def exercised(self, rule_name: str) -> bool:
+        return rule_name in self.rules_exercised
+
+    def exercised_all(self, rule_names) -> bool:
+        return all(name in self.rules_exercised for name in rule_names)

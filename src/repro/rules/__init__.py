@@ -1,0 +1,37 @@
+"""The transformation-rule framework, rule library and registry."""
+
+from repro.rules.framework import (
+    ANY,
+    P,
+    PatternNode,
+    Rule,
+    RuleContext,
+    RuleType,
+    match_structure,
+    pattern_from_xml,
+    pattern_to_xml,
+    tree_contains_pattern,
+)
+from repro.rules.registry import (
+    DEFAULT_EXPLORATION_RULES,
+    DEFAULT_IMPLEMENTATION_RULES,
+    RuleRegistry,
+    default_registry,
+)
+
+__all__ = [
+    "ANY",
+    "DEFAULT_EXPLORATION_RULES",
+    "DEFAULT_IMPLEMENTATION_RULES",
+    "P",
+    "PatternNode",
+    "Rule",
+    "RuleContext",
+    "RuleRegistry",
+    "RuleType",
+    "default_registry",
+    "match_structure",
+    "pattern_from_xml",
+    "pattern_to_xml",
+    "tree_contains_pattern",
+]

@@ -1,0 +1,99 @@
+"""Shared helpers for the rule library."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.expr.expressions import (
+    BoolConnective,
+    BoolExpr,
+    Column,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    IsNull,
+    TRUE,
+    conjuncts,
+    conjunction,
+    referenced_columns,
+)
+from repro.logical.operators import Project
+
+
+def split_conjuncts_by_side(
+    predicate: Expr,
+    left_ids: FrozenSet[int],
+    right_ids: FrozenSet[int],
+) -> Tuple[List[Expr], List[Expr], List[Expr]]:
+    """Partition conjuncts into (left-only, right-only, mixed/other)."""
+    left_only: List[Expr] = []
+    right_only: List[Expr] = []
+    rest: List[Expr] = []
+    for conjunct in conjuncts(predicate):
+        refs = {column.cid for column in referenced_columns(conjunct)}
+        if refs and refs <= left_ids:
+            left_only.append(conjunct)
+        elif refs and refs <= right_ids:
+            right_only.append(conjunct)
+        else:
+            rest.append(conjunct)
+    return left_only, right_only, rest
+
+
+def references_only(expr: Expr, ids: FrozenSet[int]) -> bool:
+    """Does ``expr`` reference only columns whose id is in ``ids``?"""
+    return all(column.cid in ids for column in referenced_columns(expr))
+
+
+def null_safe_equals(left: Column, right: Column) -> Expr:
+    """``left = right OR (left IS NULL AND right IS NULL)``.
+
+    SQL set operations (INTERSECT/EXCEPT) and GROUP BY treat NULLs as equal;
+    rewriting them into joins therefore needs null-safe equality rather than
+    the plain ``=`` (which yields UNKNOWN on NULLs).
+    """
+    plain = Comparison(ComparisonOp.EQ, ColumnRef(left), ColumnRef(right))
+    both_null = BoolExpr(
+        BoolConnective.AND,
+        (IsNull(ColumnRef(left)), IsNull(ColumnRef(right))),
+    )
+    return BoolExpr(BoolConnective.OR, (plain, both_null))
+
+
+def pairwise_null_safe_equals(
+    left_columns: Sequence[Column], right_columns: Sequence[Column]
+) -> Expr:
+    return conjunction(
+        null_safe_equals(l, r)
+        for l, r in zip(left_columns, right_columns)
+    )
+
+
+def passthrough_project(
+    child, columns: Sequence[Column], renames: Optional[dict] = None
+) -> Project:
+    """A Project forwarding ``columns`` (optionally renaming via ``renames``
+    mapping output Column -> source Column)."""
+    renames = renames or {}
+    outputs = tuple(
+        (column, ColumnRef(renames.get(column, column)))
+        for column in columns
+    )
+    return Project(child, outputs)
+
+
+def predicate_or_true(parts: Sequence[Expr]) -> Expr:
+    if not parts:
+        return TRUE
+    return conjunction(parts)
+
+
+def maybe_select(child, parts: Sequence[Expr]):
+    """Wrap ``child`` in a Select over the conjunction of ``parts`` (or
+    return ``child`` unchanged when there is nothing to filter)."""
+    from repro.logical.operators import Select
+
+    if not parts:
+        return child
+    return Select(child, conjunction(parts))

@@ -1,0 +1,78 @@
+"""Exploration rules over Distinct and semi-joins."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logical.operators import (
+    Distinct,
+    GbAgg,
+    Join,
+    JoinKind,
+    LogicalOp,
+    OpKind,
+)
+from repro.logical.properties import equijoin_pairs, is_pure_equijoin
+from repro.rules.common import passthrough_project
+from repro.rules.framework import ANY, P, Rule, RuleContext
+
+
+class DistinctToGbAgg(Rule):
+    """``Distinct(X) -> GbAgg(group by all columns of X)``.
+
+    GROUP BY and DISTINCT agree on NULL handling (NULLs compare equal), so
+    the rewrite is exact.
+    """
+
+    name = "DistinctToGbAgg"
+    pattern = P(OpKind.DISTINCT, ANY)
+
+    def substitute(self, binding: Distinct, ctx: RuleContext) -> Iterable[LogicalOp]:
+        columns = ctx.columns(binding.child)
+        yield GbAgg(binding.child, tuple(columns), (), phase="single")
+
+
+class DistinctRemoveOnKey(Rule):
+    """``Distinct(X) -> X`` when X already has a unique key (its rows are
+    duplicate-free).  Substitutes the child group itself."""
+
+    name = "DistinctRemoveOnKey"
+    pattern = P(OpKind.DISTINCT, ANY)
+    condition_note = "input has a declared/derived unique key"
+
+    def precondition(self, binding: Distinct, ctx: RuleContext) -> bool:
+        props = ctx.props(binding.child)
+        return props.has_key(props.column_ids)
+
+    def substitute(self, binding: Distinct, ctx: RuleContext) -> Iterable[object]:
+        yield binding.child
+
+
+class SemiJoinToJoinOnKey(Rule):
+    """``L SEMI-JOIN R -> Project_L(L JOIN R)`` when R is unique on its join
+    columns (each left row matches at most once, so no duplication)."""
+
+    name = "SemiJoinToJoinOnKey"
+    pattern = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.SEMI,))
+    generation_hints = {"join_predicate": "fk_pk"}
+    condition_note = "pure equi-join; right side unique on its join columns"
+
+    def precondition(self, binding: Join, ctx: RuleContext) -> bool:
+        left_ids = ctx.column_ids(binding.left)
+        right_props = ctx.props(binding.right)
+        right_ids = right_props.column_ids
+        if not is_pure_equijoin(binding.predicate, left_ids, right_ids):
+            return False
+        pairs = equijoin_pairs(binding.predicate)
+        if not pairs:
+            return False
+        right_keys = frozenset(
+            (b if b.cid in right_ids else a).cid for a, b in pairs
+        )
+        return right_props.has_key(right_keys)
+
+    def substitute(self, binding: Join, ctx: RuleContext) -> Iterable[LogicalOp]:
+        inner = Join(
+            JoinKind.INNER, binding.left, binding.right, binding.predicate
+        )
+        yield passthrough_project(inner, ctx.columns(binding.left))

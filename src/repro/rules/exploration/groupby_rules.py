@@ -1,0 +1,277 @@
+"""Exploration rules over Group-By/Aggregate.
+
+These are the schema/property-sensitive rules the paper singles out:
+``GbAggPullAboveJoin`` is the Figure 3 example ("pull up a Group-By operator
+above a join") and fires only under functional-dependency conditions -- the
+join columns must be grouping columns and the other side must contribute at
+most one match (a declared unique key); ``GbAggEagerBelowJoin`` is the
+classic eager aggregation of [3] (Chaudhuri's overview, citing
+Chaudhuri/Shim and Yan/Larson).
+
+To keep exploration finite, rules that manufacture fresh aggregate stages
+only apply to ``phase == "single"`` aggregates and mark their products as
+``local``/``global``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.catalog.schema import DataType
+from repro.expr.aggregates import AggregateCall, AggregateFunction
+from repro.expr.expressions import (
+    Column,
+    ColumnRef,
+    Expr,
+    Literal,
+    expression_type,
+    referenced_columns,
+)
+from repro.logical.operators import GbAgg, Join, JoinKind, LogicalOp, OpKind, Project
+from repro.logical.properties import is_pure_equijoin
+from repro.rules.framework import ANY, P, Rule, RuleContext
+
+
+def _fresh_agg_column(call: AggregateCall, name: str) -> Column:
+    return Column(
+        name=name,
+        data_type=call.result_type(),
+        nullable=call.result_nullable(),
+    )
+
+
+class GbAggPullAboveJoin(Rule):
+    """``GbAgg(X) JOIN Y -> GbAgg(X JOIN Y)`` -- lazy aggregation.
+
+    Preconditions (the functional dependencies the paper mentions):
+
+    * pure equi-join whose left join columns are all grouping columns and
+      whose right join columns form a unique key of Y (so each group matches
+      at most one Y row -- aggregates see exactly the same input rows);
+    * the join predicate references no aggregate output.
+    """
+
+    name = "GbAggPullAboveJoin"
+    pattern = P(
+        OpKind.JOIN,
+        P(OpKind.GB_AGG, ANY),
+        ANY,
+        join_kinds=(JoinKind.INNER,),
+    )
+    generation_hints = {"join_predicate": "fk_pk", "group_by": "foreign_key"}
+    condition_note = (
+        "equi-join on grouping columns; right side unique on its join keys"
+    )
+
+    def precondition(self, binding: Join, ctx: RuleContext) -> bool:
+        agg: GbAgg = binding.left
+        if agg.phase != "single":
+            return False
+        left_ids = frozenset(c.cid for c in agg.output_columns)
+        right_props = ctx.props(binding.right)
+        right_ids = right_props.column_ids
+        if not is_pure_equijoin(binding.predicate, left_ids, right_ids):
+            return False
+        group_ids = frozenset(column.cid for column in agg.group_by)
+        agg_out_ids = frozenset(column.cid for column, _ in agg.aggregates)
+        left_keys: List[int] = []
+        right_keys: List[int] = []
+        for column in referenced_columns(binding.predicate):
+            if column.cid in right_ids:
+                right_keys.append(column.cid)
+            elif column.cid in group_ids:
+                left_keys.append(column.cid)
+            elif column.cid in agg_out_ids:
+                return False  # predicate touches an aggregate result
+        if not right_keys:
+            return False
+        return right_props.has_key(frozenset(right_keys))
+
+    def substitute(self, binding: Join, ctx: RuleContext) -> Iterable[LogicalOp]:
+        agg: GbAgg = binding.left
+        right_columns = ctx.columns(binding.right)
+        new_join = Join(
+            JoinKind.INNER, agg.child, binding.right, binding.predicate
+        )
+        yield GbAgg(
+            new_join,
+            agg.group_by + tuple(right_columns),
+            agg.aggregates,
+            phase="single",
+        )
+
+
+class GbAggEagerBelowJoin(Rule):
+    """``GbAgg(G, aggs, X JOIN Y) -> GbAgg(G, combine, (GbAgg_local(X) JOIN Y))``
+    -- eager (partial) aggregation below the join.
+
+    Requires every aggregate argument to come from the left input and every
+    aggregate to be decomposable.  The local aggregate groups by the left
+    part of ``G`` plus the left columns the join predicate touches, so rows
+    merged by the local phase are indistinguishable to the join; the global
+    phase combines partials (SUM of partial SUMs/COUNTs, MIN of MINs, ...).
+    """
+
+    name = "GbAggEagerBelowJoin"
+    pattern = P(
+        OpKind.GB_AGG, P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,))
+    )
+    generation_hints = {"agg_args": "left_only"}
+    condition_note = (
+        "aggregate args from the left input only; all aggregates decomposable"
+    )
+
+    def precondition(self, binding: GbAgg, ctx: RuleContext) -> bool:
+        if binding.phase != "single":
+            return False
+        join: Join = binding.child
+        left_ids = ctx.column_ids(join.left)
+        if not binding.aggregates:
+            return False
+        for _, call in binding.aggregates:
+            if not call.function.is_decomposable:
+                return False
+            if call.argument is not None:
+                refs = referenced_columns(call.argument)
+                if not all(column.cid in left_ids for column in refs):
+                    return False
+        return True
+
+    def substitute(self, binding: GbAgg, ctx: RuleContext) -> Iterable[LogicalOp]:
+        join: Join = binding.child
+        left_columns = ctx.columns(join.left)
+        left_ids = frozenset(column.cid for column in left_columns)
+        left_by_id = {column.cid: column for column in left_columns}
+
+        local_group_ids = {
+            column.cid for column in binding.group_by if column.cid in left_ids
+        }
+        for column in referenced_columns(join.predicate):
+            if column.cid in left_ids:
+                local_group_ids.add(column.cid)
+        local_group = tuple(
+            left_by_id[cid] for cid in sorted(local_group_ids)
+        )
+
+        local_aggs: List[Tuple[Column, AggregateCall]] = []
+        global_aggs: List[Tuple[Column, AggregateCall]] = []
+        for index, (out_column, call) in enumerate(binding.aggregates):
+            partial_col = _fresh_agg_column(call, f"partial_{index}")
+            local_aggs.append((partial_col, call))
+            combiner = AggregateCall(
+                call.function.combiner, ColumnRef(partial_col)
+            )
+            global_aggs.append((out_column, combiner))
+
+        local = GbAgg(
+            join.left, local_group, tuple(local_aggs), phase="local"
+        )
+        new_join = Join(JoinKind.INNER, local, join.right, join.predicate)
+        yield GbAgg(
+            new_join, binding.group_by, tuple(global_aggs), phase="global"
+        )
+
+
+class GbAggRemoveOnKey(Rule):
+    """``GbAgg(G, aggs, X) -> Project`` when G contains a key of X.
+
+    Every group has exactly one row, so aggregates collapse to scalar
+    expressions: ``SUM/MIN/MAX(e) -> e``, ``COUNT(*) -> 1``, ``COUNT(e) -> 1``
+    when ``e`` is known non-null.  Aggregates that cannot be expressed this
+    way (e.g. COUNT of a nullable expression, which would need CASE) veto
+    the rule.
+    """
+
+    name = "GbAggRemoveOnKey"
+    pattern = P(OpKind.GB_AGG, ANY)
+    generation_hints = {"group_by": "include_key", "agg_args": "count_star"}
+    condition_note = "grouping columns contain a key of the input"
+
+    def precondition(self, binding: GbAgg, ctx: RuleContext) -> bool:
+        if binding.phase != "single":
+            return False
+        if not binding.group_by:
+            return False
+        props = ctx.props(binding.child)
+        group_ids = frozenset(column.cid for column in binding.group_by)
+        if not props.has_key(group_ids):
+            return False
+        return all(
+            self._scalar_form(call, ctx, binding) is not None
+            for _, call in binding.aggregates
+        )
+
+    @staticmethod
+    def _scalar_form(
+        call: AggregateCall, ctx: RuleContext, binding: GbAgg
+    ) -> Optional[Expr]:
+        function = call.function
+        if function is AggregateFunction.COUNT_STAR:
+            return Literal(1, DataType.INT)
+        assert call.argument is not None
+        if function in (
+            AggregateFunction.SUM,
+            AggregateFunction.MIN,
+            AggregateFunction.MAX,
+        ):
+            return call.argument
+        if function is AggregateFunction.AVG:
+            if expression_type(call.argument) is DataType.FLOAT:
+                return call.argument
+            return None
+        # COUNT(e): 1 when e is provably non-null, inexpressible otherwise.
+        props = ctx.props(binding.child)
+        refs = referenced_columns(call.argument)
+        if refs and all(column in props.non_null for column in refs):
+            if isinstance(call.argument, ColumnRef):
+                return Literal(1, DataType.INT)
+        return None
+
+    def substitute(self, binding: GbAgg, ctx: RuleContext) -> Iterable[LogicalOp]:
+        outputs = [
+            (column, ColumnRef(column)) for column in binding.group_by
+        ]
+        for column, call in binding.aggregates:
+            scalar = self._scalar_form(call, ctx, binding)
+            assert scalar is not None
+            outputs.append((column, scalar))
+        yield Project(binding.child, tuple(outputs))
+
+
+class GbAggSplitGlobalLocal(Rule):
+    """``GbAgg(G, aggs, X) -> GbAgg_global(G, combine, GbAgg_local(G, aggs, X))``
+    -- split into local/global phases (all aggregates must be decomposable)."""
+
+    name = "GbAggSplitGlobalLocal"
+    pattern = P(OpKind.GB_AGG, ANY)
+    condition_note = "all aggregates decomposable; at least one group column"
+
+    def precondition(self, binding: GbAgg, ctx: RuleContext) -> bool:
+        if binding.phase != "single":
+            return False
+        if not binding.group_by or not binding.aggregates:
+            return False
+        return all(
+            call.function.is_decomposable for _, call in binding.aggregates
+        )
+
+    def substitute(self, binding: GbAgg, ctx: RuleContext) -> Iterable[LogicalOp]:
+        local_aggs: List[Tuple[Column, AggregateCall]] = []
+        global_aggs: List[Tuple[Column, AggregateCall]] = []
+        for index, (out_column, call) in enumerate(binding.aggregates):
+            partial_col = _fresh_agg_column(call, f"partial_{index}")
+            local_aggs.append((partial_col, call))
+            global_aggs.append(
+                (
+                    out_column,
+                    AggregateCall(
+                        call.function.combiner, ColumnRef(partial_col)
+                    ),
+                )
+            )
+        local = GbAgg(
+            binding.child, binding.group_by, tuple(local_aggs), phase="local"
+        )
+        yield GbAgg(
+            local, binding.group_by, tuple(global_aggs), phase="global"
+        )

@@ -1,0 +1,176 @@
+"""Exploration rules over inner/cross joins."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.expr.expressions import TRUE, conjuncts, referenced_columns
+from repro.logical.operators import Join, JoinKind, LogicalOp, OpKind, Select
+from repro.rules.common import predicate_or_true, references_only
+from repro.rules.framework import ANY, P, Rule, RuleContext
+
+
+class JoinCommutativity(Rule):
+    """``A JOIN B -> B JOIN A`` (inner and cross joins only)."""
+
+    name = "JoinCommutativity"
+    pattern = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER, JoinKind.CROSS))
+
+    def substitute(self, binding: Join, ctx: RuleContext) -> Iterable[LogicalOp]:
+        yield Join(
+            binding.join_kind, binding.right, binding.left, binding.predicate
+        )
+
+
+class JoinLeftAssociativity(Rule):
+    """``(A JOIN B) JOIN C -> A JOIN (B JOIN C)``.
+
+    All conjuncts of both predicates are pooled; those referencing only
+    B and C move to the new bottom join, the remainder stays on top.
+    """
+
+    name = "JoinLeftAssociativity"
+    pattern = P(
+        OpKind.JOIN,
+        P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,)),
+        ANY,
+        join_kinds=(JoinKind.INNER,),
+    )
+    condition_note = "at least one pooled conjunct references only B and C"
+
+    def precondition(self, binding: Join, ctx: RuleContext) -> bool:
+        return bool(self._partition(binding, ctx)[0])
+
+    @staticmethod
+    def _partition(binding: Join, ctx: RuleContext):
+        bottom: Join = binding.left
+        b_ids = ctx.column_ids(bottom.right)
+        c_ids = ctx.column_ids(binding.right)
+        pooled = list(conjuncts(bottom.predicate)) + list(
+            conjuncts(binding.predicate)
+        )
+        pooled = [part for part in pooled if part != TRUE]
+        inner = [
+            part for part in pooled if references_only(part, b_ids | c_ids)
+        ]
+        outer = [part for part in pooled if part not in inner]
+        return inner, outer
+
+    def substitute(self, binding: Join, ctx: RuleContext) -> Iterable[LogicalOp]:
+        bottom: Join = binding.left
+        inner, outer = self._partition(binding, ctx)
+        new_bottom = Join(
+            JoinKind.INNER,
+            bottom.right,
+            binding.right,
+            predicate_or_true(inner),
+        )
+        yield Join(
+            JoinKind.INNER, bottom.left, new_bottom, predicate_or_true(outer)
+        )
+
+
+class JoinRightAssociativity(Rule):
+    """``A JOIN (B JOIN C) -> (A JOIN B) JOIN C`` (mirror of the above)."""
+
+    name = "JoinRightAssociativity"
+    pattern = P(
+        OpKind.JOIN,
+        ANY,
+        P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,)),
+        join_kinds=(JoinKind.INNER,),
+    )
+    condition_note = "at least one pooled conjunct references only A and B"
+
+    def precondition(self, binding: Join, ctx: RuleContext) -> bool:
+        return bool(self._partition(binding, ctx)[0])
+
+    @staticmethod
+    def _partition(binding: Join, ctx: RuleContext):
+        bottom: Join = binding.right
+        a_ids = ctx.column_ids(binding.left)
+        b_ids = ctx.column_ids(bottom.left)
+        pooled = list(conjuncts(bottom.predicate)) + list(
+            conjuncts(binding.predicate)
+        )
+        pooled = [part for part in pooled if part != TRUE]
+        inner = [
+            part for part in pooled if references_only(part, a_ids | b_ids)
+        ]
+        outer = [part for part in pooled if part not in inner]
+        return inner, outer
+
+    def substitute(self, binding: Join, ctx: RuleContext) -> Iterable[LogicalOp]:
+        bottom: Join = binding.right
+        inner, outer = self._partition(binding, ctx)
+        new_bottom = Join(
+            JoinKind.INNER,
+            binding.left,
+            bottom.left,
+            predicate_or_true(inner),
+        )
+        yield Join(
+            JoinKind.INNER, new_bottom, bottom.right, predicate_or_true(outer)
+        )
+
+
+class CrossToInnerJoin(Rule):
+    """``Select(p, A CROSS B) -> Select(rest, A JOIN[p_ab] B)``.
+
+    Conjuncts of ``p`` that reference both sides become the join predicate.
+    """
+
+    name = "CrossToInnerJoin"
+    pattern = P(
+        OpKind.SELECT, P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.CROSS,))
+    )
+    generation_hints = {"select_predicate": "cross_equality"}
+    condition_note = "some conjunct references both join inputs"
+
+    @staticmethod
+    def _partition(binding: Select, ctx: RuleContext):
+        join: Join = binding.child
+        left_ids = ctx.column_ids(join.left)
+        right_ids = ctx.column_ids(join.right)
+        joining = []
+        rest = []
+        for part in conjuncts(binding.predicate):
+            refs = {column.cid for column in referenced_columns(part)}
+            if refs & left_ids and refs & right_ids:
+                joining.append(part)
+            else:
+                rest.append(part)
+        return joining, rest
+
+    def precondition(self, binding: Select, ctx: RuleContext) -> bool:
+        return bool(self._partition(binding, ctx)[0])
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        join: Join = binding.child
+        joining, rest = self._partition(binding, ctx)
+        new_join = Join(
+            JoinKind.INNER, join.left, join.right, predicate_or_true(joining)
+        )
+        if rest:
+            yield Select(new_join, predicate_or_true(rest))
+        else:
+            yield new_join
+
+
+class JoinPredicateToSelect(Rule):
+    """``A JOIN[p] B -> Select(p, A CROSS B)`` -- predicate pull-out.
+
+    The normalization inverse of :class:`CrossToInnerJoin`; gives the
+    search both representations of an inner join.
+    """
+
+    name = "JoinPredicateToSelect"
+    pattern = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,))
+    condition_note = "join predicate is not TRUE"
+
+    def precondition(self, binding: Join, ctx: RuleContext) -> bool:
+        return binding.predicate != TRUE
+
+    def substitute(self, binding: Join, ctx: RuleContext) -> Iterable[LogicalOp]:
+        cross = Join(JoinKind.CROSS, binding.left, binding.right, TRUE)
+        yield Select(cross, binding.predicate)

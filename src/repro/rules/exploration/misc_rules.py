@@ -1,0 +1,117 @@
+"""Additional exploration rules: anti-join and AVG rewrites."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog.schema import DataType
+from repro.expr.aggregates import AggregateCall, AggregateFunction
+from repro.expr.expressions import (
+    Arithmetic,
+    ArithmeticOp,
+    Column,
+    ColumnRef,
+    IsNull,
+)
+from repro.logical.operators import GbAgg, Join, JoinKind, LogicalOp, OpKind, Project, Select
+from repro.rules.common import passthrough_project
+from repro.rules.framework import ANY, P, Rule, RuleContext
+
+
+class AntiJoinToLojFilter(Rule):
+    """``L ANTI-JOIN R -> Project_L(Select(x IS NULL, L LOJ R))``.
+
+    The classic NOT EXISTS rewrite: left-outer-join and keep exactly the
+    NULL-extended rows.  Requires a right-side column ``x`` known NOT NULL
+    in R, so that ``x IS NULL`` after the outer join identifies precisely
+    the unmatched left rows (one output row per unmatched left row -- the
+    anti-join semantics).
+    """
+
+    name = "AntiJoinToLojFilter"
+    pattern = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.ANTI,))
+    condition_note = "right side has a column known NOT NULL"
+
+    def _witness(self, binding: Join, ctx: RuleContext):
+        right_props = ctx.props(binding.right)
+        for column in right_props.columns:
+            if column in right_props.non_null:
+                return column
+        return None
+
+    def precondition(self, binding: Join, ctx: RuleContext) -> bool:
+        return self._witness(binding, ctx) is not None
+
+    def substitute(self, binding: Join, ctx: RuleContext) -> Iterable[LogicalOp]:
+        witness = self._witness(binding, ctx)
+        assert witness is not None
+        loj = Join(
+            JoinKind.LEFT_OUTER, binding.left, binding.right,
+            binding.predicate,
+        )
+        filtered = Select(loj, IsNull(ColumnRef(witness)))
+        yield passthrough_project(filtered, ctx.columns(binding.left))
+
+
+class AvgToSumDivCount(Rule):
+    """``AVG(x) -> SUM(x) / COUNT(x)`` -- decompose AVG.
+
+    AVG is not directly decomposable (it cannot be combined from partial
+    AVGs), but its SUM/COUNT form is, which unlocks the eager-aggregation
+    and local/global split rules for queries that use AVG.  Division by a
+    zero count yields NULL, matching AVG over an all-NULL group.
+    """
+
+    name = "AvgToSumDivCount"
+    pattern = P(OpKind.GB_AGG, ANY)
+    generation_hints = {"agg_args": "avg"}
+    condition_note = "at least one AVG aggregate"
+
+    def precondition(self, binding: GbAgg, ctx: RuleContext) -> bool:
+        if binding.phase != "single":
+            return False
+        return any(
+            call.function is AggregateFunction.AVG
+            for _, call in binding.aggregates
+        )
+
+    def substitute(self, binding: GbAgg, ctx: RuleContext) -> Iterable[LogicalOp]:
+        new_aggs = []
+        outputs = []
+        for index, (out_column, call) in enumerate(binding.aggregates):
+            if call.function is not AggregateFunction.AVG:
+                new_aggs.append((out_column, call))
+                outputs.append((out_column, ColumnRef(out_column)))
+                continue
+            sum_col = Column(
+                name=f"avg_sum_{index}", data_type=DataType.FLOAT
+            )
+            count_col = Column(
+                name=f"avg_count_{index}",
+                data_type=DataType.INT,
+                nullable=False,
+            )
+            new_aggs.append(
+                (sum_col, AggregateCall(AggregateFunction.SUM, call.argument))
+            )
+            new_aggs.append(
+                (count_col,
+                 AggregateCall(AggregateFunction.COUNT, call.argument))
+            )
+            outputs.append(
+                (
+                    out_column,
+                    Arithmetic(
+                        ArithmeticOp.DIV,
+                        ColumnRef(sum_col),
+                        ColumnRef(count_col),
+                    ),
+                )
+            )
+        rewritten = GbAgg(
+            binding.child, binding.group_by, tuple(new_aggs), phase="single"
+        )
+        group_outputs = tuple(
+            (column, ColumnRef(column)) for column in binding.group_by
+        )
+        yield Project(rewritten, group_outputs + tuple(outputs))

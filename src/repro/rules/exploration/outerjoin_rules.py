@@ -1,0 +1,102 @@
+"""Exploration rules over left outer joins.
+
+Includes the paper's own running example (Section 3): the associativity of
+an inner join with a left outer join, ``R JOIN (S LOJ T) -> (R JOIN S) LOJ
+T``, which is valid when the inner-join predicate only touches R and S --
+the rule-dependency scenario the paper uses to motivate why sufficient
+firing conditions are hard to capture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.expr.expressions import is_null_rejecting
+from repro.logical.operators import Join, JoinKind, LogicalOp, OpKind, Select
+from repro.rules.common import references_only
+from repro.rules.framework import ANY, P, Rule, RuleContext
+
+
+class LojToJoinOnNullReject(Rule):
+    """``Select(p, L LOJ R) -> Select(p, L JOIN R)`` when ``p`` rejects
+    NULL-extended right-side rows.
+
+    A null-rejecting predicate cannot be TRUE on rows whose right side is
+    all-NULL, so the outer join's extra rows are filtered out anyway and the
+    outer join can be simplified to an inner join.
+    """
+
+    name = "LojToJoinOnNullReject"
+    pattern = P(
+        OpKind.SELECT,
+        P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.LEFT_OUTER,)),
+    )
+    generation_hints = {"select_predicate": "right_side"}
+    condition_note = "filter predicate is null-rejecting on the right side"
+
+    def precondition(self, binding: Select, ctx: RuleContext) -> bool:
+        join: Join = binding.child
+        right_columns = frozenset(ctx.columns(join.right))
+        return is_null_rejecting(binding.predicate, right_columns)
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        join: Join = binding.child
+        inner = Join(JoinKind.INNER, join.left, join.right, join.predicate)
+        yield Select(inner, binding.predicate)
+
+
+class JoinLojAssociativity(Rule):
+    """``A JOIN[p] (B LOJ[q] C) -> (A JOIN[p] B) LOJ[q] C``
+    when ``p`` references only A and B.
+
+    This is the paper's Section 3 example.  Note the rule *enables* join
+    commutativity on the new ``A JOIN B`` -- the rule-dependency interaction
+    the paper discusses.
+    """
+
+    name = "JoinLojAssociativity"
+    pattern = P(
+        OpKind.JOIN,
+        ANY,
+        P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.LEFT_OUTER,)),
+        join_kinds=(JoinKind.INNER,),
+    )
+    generation_hints = {"join_predicate": "preserved_side"}
+    condition_note = "inner-join predicate references only A and B"
+
+    def precondition(self, binding: Join, ctx: RuleContext) -> bool:
+        loj: Join = binding.right
+        a_ids = ctx.column_ids(binding.left)
+        b_ids = ctx.column_ids(loj.left)
+        return references_only(binding.predicate, a_ids | b_ids)
+
+    def substitute(self, binding: Join, ctx: RuleContext) -> Iterable[LogicalOp]:
+        loj: Join = binding.right
+        inner = Join(
+            JoinKind.INNER, binding.left, loj.left, binding.predicate
+        )
+        yield Join(JoinKind.LEFT_OUTER, inner, loj.right, loj.predicate)
+
+
+class LojPushSelectLeft(Rule):
+    """``Select(p, L LOJ R) -> Select(p, L) LOJ R`` when ``p`` references
+    only the preserved (left) side."""
+
+    name = "LojPushSelectLeft"
+    pattern = P(
+        OpKind.SELECT,
+        P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.LEFT_OUTER,)),
+    )
+    generation_hints = {"select_predicate": "left_side"}
+    condition_note = "predicate references only left-side columns"
+
+    def precondition(self, binding: Select, ctx: RuleContext) -> bool:
+        join: Join = binding.child
+        return references_only(
+            binding.predicate, ctx.column_ids(join.left)
+        )
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        join: Join = binding.child
+        new_left = Select(join.left, binding.predicate)
+        yield join.with_children((new_left, join.right))

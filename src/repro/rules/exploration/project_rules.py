@@ -1,0 +1,56 @@
+"""Exploration rules over projections."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.expr.expressions import ColumnRef, substitute_columns
+from repro.logical.operators import LogicalOp, OpKind, Project
+from repro.rules.framework import ANY, P, Rule, RuleContext
+
+
+class ProjectMerge(Rule):
+    """``Project(o1, Project(o2, X)) -> Project(o1 o o2, X)`` --
+    compose the outer outputs over the inner definitions."""
+
+    name = "ProjectMerge"
+    pattern = P(OpKind.PROJECT, P(OpKind.PROJECT, ANY))
+
+    def substitute(self, binding: Project, ctx: RuleContext) -> Iterable[LogicalOp]:
+        inner: Project = binding.child
+        mapping = {column: expr for column, expr in inner.outputs}
+        outputs = tuple(
+            (column, substitute_columns(expr, mapping))
+            for column, expr in binding.outputs
+        )
+        yield Project(inner.child, outputs)
+
+
+class RemoveTrivialProject(Rule):
+    """Drop a projection that passes through exactly its input's columns.
+
+    The substitution yields the child group itself (a group alias); the
+    optimizer records the equivalence by absorbing the child group's
+    expressions.
+    """
+
+    name = "RemoveTrivialProject"
+    pattern = P(OpKind.PROJECT, ANY)
+    generation_hints = {"project": "passthrough_all"}
+    condition_note = "all outputs are pass-through and cover the input"
+
+    def precondition(self, binding: Project, ctx: RuleContext) -> bool:
+        passthrough = all(
+            isinstance(expr, ColumnRef) and expr.column == column
+            for column, expr in binding.outputs
+        )
+        if not passthrough:
+            return False
+        child_ids = ctx.column_ids(binding.child)
+        output_ids = frozenset(
+            column.cid for column in binding.output_columns
+        )
+        return output_ids == child_ids
+
+    def substitute(self, binding: Project, ctx: RuleContext) -> Iterable[object]:
+        yield binding.child

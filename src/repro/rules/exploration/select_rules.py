@@ -1,0 +1,242 @@
+"""Exploration rules that move selections (filters) around."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.expr.expressions import (
+    TRUE,
+    conjunction,
+    conjuncts,
+    substitute_columns,
+)
+from repro.logical.operators import (
+    GbAgg,
+    Join,
+    JoinKind,
+    LogicalOp,
+    OpKind,
+    Project,
+    Select,
+)
+from repro.rules.common import (
+    maybe_select,
+    references_only,
+    split_conjuncts_by_side,
+)
+from repro.rules.framework import ANY, P, Rule, RuleContext
+
+
+class SelectMerge(Rule):
+    """``Select(p1, Select(p2, X)) -> Select(p1 AND p2, X)``."""
+
+    name = "SelectMerge"
+    pattern = P(OpKind.SELECT, P(OpKind.SELECT, ANY))
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        inner: Select = binding.child
+        yield Select(
+            inner.child, conjunction([binding.predicate, inner.predicate])
+        )
+
+
+class SelectSplit(Rule):
+    """``Select(c1 AND rest, X) -> Select(c1, Select(rest, X))``."""
+
+    name = "SelectSplit"
+    pattern = P(OpKind.SELECT, ANY)
+    condition_note = "predicate has at least two conjuncts"
+
+    def precondition(self, binding: Select, ctx: RuleContext) -> bool:
+        return len(conjuncts(binding.predicate)) >= 2
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        first, *rest = conjuncts(binding.predicate)
+        yield Select(Select(binding.child, conjunction(rest)), first)
+
+
+class SelectCommute(Rule):
+    """``Select(p1, Select(p2, X)) -> Select(p2, Select(p1, X))``."""
+
+    name = "SelectCommute"
+    pattern = P(OpKind.SELECT, P(OpKind.SELECT, ANY))
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        inner: Select = binding.child
+        yield Select(
+            Select(inner.child, binding.predicate), inner.predicate
+        )
+
+
+class SelectPushBelowJoinLeft(Rule):
+    """Push left-side-only conjuncts below a join's left input.
+
+    Valid for inner joins and for semi/anti joins (whose output is the left
+    input): filtering left rows before or after the join is equivalent when
+    the predicate sees only left columns.
+    """
+
+    name = "SelectPushBelowJoinLeft"
+    pattern = P(
+        OpKind.SELECT,
+        P(
+            OpKind.JOIN,
+            ANY,
+            ANY,
+            join_kinds=(JoinKind.INNER, JoinKind.SEMI, JoinKind.ANTI),
+        ),
+    )
+    generation_hints = {"select_predicate": "left_side"}
+    condition_note = "some conjunct references only the left input"
+
+    def precondition(self, binding: Select, ctx: RuleContext) -> bool:
+        join: Join = binding.child
+        left_ids = ctx.column_ids(join.left)
+        right_ids = ctx.column_ids(join.right)
+        left_only, _, _ = split_conjuncts_by_side(
+            binding.predicate, left_ids, right_ids
+        )
+        return bool(left_only)
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        join: Join = binding.child
+        left_ids = ctx.column_ids(join.left)
+        right_ids = ctx.column_ids(join.right)
+        left_only, right_only, rest = split_conjuncts_by_side(
+            binding.predicate, left_ids, right_ids
+        )
+        new_left = Select(join.left, conjunction(left_only))
+        new_join = join.with_children((new_left, join.right))
+        yield maybe_select(new_join, right_only + rest)
+
+
+class SelectPushBelowJoinRight(Rule):
+    """Push right-side-only conjuncts below an inner join's right input."""
+
+    name = "SelectPushBelowJoinRight"
+    pattern = P(
+        OpKind.SELECT, P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,))
+    )
+    generation_hints = {"select_predicate": "right_side"}
+    condition_note = "some conjunct references only the right input"
+
+    def precondition(self, binding: Select, ctx: RuleContext) -> bool:
+        join: Join = binding.child
+        left_ids = ctx.column_ids(join.left)
+        right_ids = ctx.column_ids(join.right)
+        _, right_only, _ = split_conjuncts_by_side(
+            binding.predicate, left_ids, right_ids
+        )
+        return bool(right_only)
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        join: Join = binding.child
+        left_ids = ctx.column_ids(join.left)
+        right_ids = ctx.column_ids(join.right)
+        left_only, right_only, rest = split_conjuncts_by_side(
+            binding.predicate, left_ids, right_ids
+        )
+        new_right = Select(join.right, conjunction(right_only))
+        new_join = join.with_children((join.left, new_right))
+        yield maybe_select(new_join, left_only + rest)
+
+
+class SelectIntoJoinPredicate(Rule):
+    """``Select(p, A JOIN[q] B) -> A JOIN[p AND q] B`` (inner joins)."""
+
+    name = "SelectIntoJoinPredicate"
+    pattern = P(
+        OpKind.SELECT, P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,))
+    )
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        join: Join = binding.child
+        yield Join(
+            JoinKind.INNER,
+            join.left,
+            join.right,
+            conjunction([binding.predicate, join.predicate]),
+        )
+
+
+class SelectPushBelowProject(Rule):
+    """``Select(p, Project(outs, X)) -> Project(outs, Select(p', X))``
+    where ``p'`` inlines the projection's definitions into ``p``."""
+
+    name = "SelectPushBelowProject"
+    pattern = P(OpKind.SELECT, P(OpKind.PROJECT, ANY))
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        project: Project = binding.child
+        mapping = {column: expr for column, expr in project.outputs}
+        pushed = substitute_columns(binding.predicate, mapping)
+        yield Project(Select(project.child, pushed), project.outputs)
+
+
+class SelectPushBelowGbAgg(Rule):
+    """Push a predicate over grouping columns below the Group-By.
+
+    Valid because the predicate's value is constant within each group
+    (it references only grouping columns), so filtering groups after
+    aggregation equals filtering their input rows before.
+    """
+
+    name = "SelectPushBelowGbAgg"
+    pattern = P(OpKind.SELECT, P(OpKind.GB_AGG, ANY))
+    generation_hints = {"select_predicate": "group_columns"}
+    condition_note = "predicate references only grouping columns"
+
+    def precondition(self, binding: Select, ctx: RuleContext) -> bool:
+        agg: GbAgg = binding.child
+        group_ids = frozenset(column.cid for column in agg.group_by)
+        return bool(group_ids) and references_only(
+            binding.predicate, group_ids
+        )
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        agg: GbAgg = binding.child
+        yield agg.with_children((Select(agg.child, binding.predicate),))
+
+
+class _SelectPushBelowUnionBase(Rule):
+    """Shared implementation for pushing a filter below UNION [ALL]."""
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        setop = binding.child
+        left_map = dict(zip(setop.output_columns, setop.left_columns))
+        right_map = dict(zip(setop.output_columns, setop.right_columns))
+        left_pred = substitute_columns(binding.predicate, left_map)
+        right_pred = substitute_columns(binding.predicate, right_map)
+        new_left = Select(setop.left, left_pred)
+        new_right = Select(setop.right, right_pred)
+        yield setop.with_children((new_left, new_right))
+
+
+class SelectPushBelowUnionAll(_SelectPushBelowUnionBase):
+    """``Select(p, L UNION ALL R) -> Select(p,L) UNION ALL Select(p,R)``."""
+
+    name = "SelectPushBelowUnionAll"
+    pattern = P(OpKind.SELECT, P(OpKind.UNION_ALL, ANY, ANY))
+
+
+class SelectPushBelowUnion(_SelectPushBelowUnionBase):
+    """``Select(p, L UNION R) -> Select(p,L) UNION Select(p,R)``
+    (filters commute with duplicate elimination)."""
+
+    name = "SelectPushBelowUnion"
+    pattern = P(OpKind.SELECT, P(OpKind.UNION, ANY, ANY))
+
+
+class SelectTrueRemoval(Rule):
+    """``Select(TRUE, X) -> X`` -- drop a vacuous filter."""
+
+    name = "SelectTrueRemoval"
+    pattern = P(OpKind.SELECT, ANY)
+    generation_hints = {"select_predicate": "true"}
+    condition_note = "predicate is the literal TRUE"
+
+    def precondition(self, binding: Select, ctx: RuleContext) -> bool:
+        return binding.predicate == TRUE
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[object]:
+        yield binding.child

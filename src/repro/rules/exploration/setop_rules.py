@@ -1,0 +1,121 @@
+"""Exploration rules over set operations.
+
+SQL set semantics: UNION/INTERSECT/EXCEPT eliminate duplicates and treat
+NULLs as equal, so the join-based rewrites use *null-safe* equality
+predicates (see :func:`repro.rules.common.null_safe_equals`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.expr.expressions import Column
+from repro.logical.operators import (
+    Distinct,
+    Except,
+    Intersect,
+    Join,
+    JoinKind,
+    LogicalOp,
+    OpKind,
+    Union,
+    UnionAll,
+)
+from repro.rules.common import pairwise_null_safe_equals, passthrough_project
+from repro.rules.framework import ANY, P, Rule, RuleContext
+
+
+class UnionAllCommutativity(Rule):
+    """``L UNION ALL R -> R UNION ALL L`` (branch maps swap with them)."""
+
+    name = "UnionAllCommutativity"
+    pattern = P(OpKind.UNION_ALL, ANY, ANY)
+
+    def substitute(self, binding: UnionAll, ctx: RuleContext) -> Iterable[LogicalOp]:
+        yield UnionAll(
+            binding.right,
+            binding.left,
+            binding.output_columns,
+            binding.right_columns,
+            binding.left_columns,
+        )
+
+
+class UnionAllAssociativity(Rule):
+    """``(A UNION ALL B) UNION ALL C -> A UNION ALL (B UNION ALL C)``.
+
+    The new intermediate union gets fresh output columns typed after the
+    outer result.
+    """
+
+    name = "UnionAllAssociativity"
+    pattern = P(OpKind.UNION_ALL, P(OpKind.UNION_ALL, ANY, ANY), ANY)
+
+    def substitute(self, binding: UnionAll, ctx: RuleContext) -> Iterable[LogicalOp]:
+        inner: UnionAll = binding.left
+        # outer.left_columns are inner's outputs; trace through to A and B.
+        to_a = dict(zip(inner.output_columns, inner.left_columns))
+        to_b = dict(zip(inner.output_columns, inner.right_columns))
+        a_cols = tuple(to_a[col] for col in binding.left_columns)
+        b_cols = tuple(to_b[col] for col in binding.left_columns)
+        mid = tuple(
+            Column(name=out.name, data_type=out.data_type, nullable=True)
+            for out in binding.output_columns
+        )
+        new_inner = UnionAll(
+            inner.right, binding.right, mid, b_cols, binding.right_columns
+        )
+        yield UnionAll(
+            inner.left, new_inner, binding.output_columns, a_cols, mid
+        )
+
+
+class UnionToDistinctUnionAll(Rule):
+    """``L UNION R -> Distinct(L UNION ALL R)``."""
+
+    name = "UnionToDistinctUnionAll"
+    pattern = P(OpKind.UNION, ANY, ANY)
+
+    def substitute(self, binding: Union, ctx: RuleContext) -> Iterable[LogicalOp]:
+        merged = UnionAll(
+            binding.left,
+            binding.right,
+            binding.output_columns,
+            binding.left_columns,
+            binding.right_columns,
+        )
+        yield Distinct(merged)
+
+
+class IntersectToSemiJoin(Rule):
+    """``L INTERSECT R -> Project(Distinct(L SEMI-JOIN R))`` with null-safe
+    per-column equality as the semi-join predicate."""
+
+    name = "IntersectToSemiJoin"
+    pattern = P(OpKind.INTERSECT, ANY, ANY)
+
+    def substitute(self, binding: Intersect, ctx: RuleContext) -> Iterable[LogicalOp]:
+        predicate = pairwise_null_safe_equals(
+            binding.left_columns, binding.right_columns
+        )
+        semi = Join(JoinKind.SEMI, binding.left, binding.right, predicate)
+        deduped = Distinct(semi)
+        renames = dict(zip(binding.output_columns, binding.left_columns))
+        yield passthrough_project(deduped, binding.output_columns, renames)
+
+
+class ExceptToAntiJoin(Rule):
+    """``L EXCEPT R -> Project(Distinct(L ANTI-JOIN R))`` with null-safe
+    per-column equality as the anti-join predicate."""
+
+    name = "ExceptToAntiJoin"
+    pattern = P(OpKind.EXCEPT, ANY, ANY)
+
+    def substitute(self, binding: Except, ctx: RuleContext) -> Iterable[LogicalOp]:
+        predicate = pairwise_null_safe_equals(
+            binding.left_columns, binding.right_columns
+        )
+        anti = Join(JoinKind.ANTI, binding.left, binding.right, predicate)
+        deduped = Distinct(anti)
+        renames = dict(zip(binding.output_columns, binding.left_columns))
+        yield passthrough_project(deduped, binding.output_columns, renames)

@@ -1,0 +1,28 @@
+"""SQL text front/back end: generation, lexing, parsing and binding."""
+
+from repro.sql.generate import SqlGenerator, sql_name, to_sql
+from repro.sql.lexer import LexError, Token, TokenType, tokenize
+
+__all__ = [
+    "LexError",
+    "SqlGenerator",
+    "Token",
+    "TokenType",
+    "sql_name",
+    "to_sql",
+    "tokenize",
+]
+
+
+def parse_sql(text: str):
+    """Parse one SQL statement into an AST (lazy import avoids cycles)."""
+    from repro.sql.parser import parse_sql as _parse
+
+    return _parse(text)
+
+
+def sql_to_tree(text: str, catalog):
+    """Parse and bind SQL text into a logical query tree."""
+    from repro.sql.binder import sql_to_tree as _bind
+
+    return _bind(text, catalog)

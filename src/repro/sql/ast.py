@@ -1,0 +1,148 @@
+"""SQL abstract syntax tree (parser output, binder input)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class SqlNode:
+    """Base class for AST nodes."""
+
+
+# ------------------------------------------------------------- scalar exprs
+
+
+@dataclass(frozen=True)
+class NameRef(SqlNode):
+    """A possibly qualified column reference (``q.ident`` or ``ident``)."""
+
+    qualifier: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class NumberLit(SqlNode):
+    text: str
+
+    @property
+    def value(self):
+        if "." in self.text:
+            return float(self.text)
+        return int(self.text)
+
+
+@dataclass(frozen=True)
+class StringLit(SqlNode):
+    value: str
+
+
+@dataclass(frozen=True)
+class BoolLit(SqlNode):
+    value: Optional[bool]  # None encodes the NULL literal
+
+
+@dataclass(frozen=True)
+class BinaryOp(SqlNode):
+    op: str
+    left: SqlNode
+    right: SqlNode
+
+
+@dataclass(frozen=True)
+class BoolOp(SqlNode):
+    op: str  # "AND" | "OR"
+    args: Tuple[SqlNode, ...]
+
+
+@dataclass(frozen=True)
+class NotOp(SqlNode):
+    arg: SqlNode
+
+
+@dataclass(frozen=True)
+class IsNullOp(SqlNode):
+    arg: SqlNode
+    negated: bool
+
+
+@dataclass(frozen=True)
+class FuncCall(SqlNode):
+    """Aggregate call; ``argument is None`` encodes COUNT(*)."""
+
+    name: str
+    argument: Optional[SqlNode]
+
+
+@dataclass(frozen=True)
+class ExistsExpr(SqlNode):
+    query: "QueryExpr"
+    negated: bool
+
+
+# --------------------------------------------------------------- table refs
+
+
+@dataclass(frozen=True)
+class TableName(SqlNode):
+    name: str
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class DerivedTable(SqlNode):
+    query: "QueryExpr"
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinedTable(SqlNode):
+    kind: str  # "INNER" | "LEFT" | "CROSS"
+    left: SqlNode
+    right: SqlNode
+    condition: Optional[SqlNode]
+
+
+# -------------------------------------------------------------- query exprs
+
+
+@dataclass(frozen=True)
+class SelectItem(SqlNode):
+    expr: SqlNode
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class OrderItem(SqlNode):
+    name: NameRef
+    ascending: bool
+
+
+@dataclass
+class SelectBlock(SqlNode):
+    """One SELECT ... FROM ... block."""
+
+    distinct: bool = False
+    star: bool = False
+    items: List[SelectItem] = field(default_factory=list)
+    table: Optional[SqlNode] = None
+    where: Optional[SqlNode] = None
+    group_by: List[NameRef] = field(default_factory=list)
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SetOpExpr(SqlNode):
+    op: str  # "UNION ALL" | "UNION" | "INTERSECT" | "EXCEPT"
+    left: "QueryExpr"
+    right: "QueryExpr"
+
+
+#: A query expression is a select block or a set operation over two of them.
+QueryExpr = SqlNode

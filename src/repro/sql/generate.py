@@ -1,0 +1,262 @@
+"""SQL generation from logical query trees.
+
+This is the paper's "Generate SQL" module (Figure 2): it "takes as input a
+logical query tree ... and generates a SQL statement corresponding to the
+query tree", with functionality equivalent to Elhemali & Giakoumakis'
+DBTest'08 interface [9].
+
+Every column is emitted under a globally unique SQL identifier
+(``<name>_<cid>``) so that trees joining the same table multiple times, or
+moving columns through deep operator stacks, render unambiguously.  Each
+operator becomes one SELECT block over derived tables; semi/anti joins
+render as ``[NOT] EXISTS`` subqueries, which is also how they parse back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.expr.aggregates import AggregateCall, AggregateFunction
+from repro.expr.expressions import (
+    Arithmetic,
+    BoolExpr,
+    Column,
+    ColumnRef,
+    Comparison,
+    Expr,
+    IsNull,
+    Literal,
+    Not,
+)
+from repro.logical.operators import (
+    Distinct,
+    GbAgg,
+    Get,
+    Join,
+    JoinKind,
+    Limit,
+    LogicalOp,
+    OpKind,
+    Project,
+    Select,
+    Sort,
+    is_set_op,
+)
+
+#: cid -> SQL identifier mapping for one subquery scope.
+Scope = Dict[int, str]
+
+
+def sql_name(column: Column) -> str:
+    """The globally unique SQL identifier for a bound column."""
+    return f"{column.name}_{column.cid}"
+
+
+class SqlGenerator:
+    """Stateful renderer (one instance per statement for alias numbering)."""
+
+    def __init__(self) -> None:
+        self._alias_counter = 0
+
+    def _next_alias(self) -> str:
+        self._alias_counter += 1
+        return f"q{self._alias_counter}"
+
+    # ------------------------------------------------------------ statements
+
+    def generate(self, op: LogicalOp) -> str:
+        sql, _ = self._render(op)
+        return sql
+
+    def _render(self, op: LogicalOp) -> Tuple[str, Scope]:
+        if isinstance(op, Get):
+            return self._render_get(op)
+        if isinstance(op, Select):
+            return self._render_select(op)
+        if isinstance(op, Project):
+            return self._render_project(op)
+        if isinstance(op, Join):
+            return self._render_join(op)
+        if isinstance(op, GbAgg):
+            return self._render_gbagg(op)
+        if is_set_op(op):
+            return self._render_setop(op)
+        if isinstance(op, Distinct):
+            return self._render_distinct(op)
+        if isinstance(op, Sort):
+            return self._render_sort(op)
+        if isinstance(op, Limit):
+            return self._render_limit(op)
+        raise TypeError(f"cannot render {type(op).__name__} to SQL")
+
+    def _derived(self, op: LogicalOp) -> Tuple[str, Scope, str]:
+        """Render ``op`` as a derived table; returns (from-item, scope, alias)."""
+        sql, scope = self._render(op)
+        alias = self._next_alias()
+        return f"({sql}) AS {alias}", scope, alias
+
+    # ------------------------------------------------------------- operators
+
+    def _render_get(self, op: Get) -> Tuple[str, Scope]:
+        scope = {column.cid: sql_name(column) for column in op.columns}
+        items = ", ".join(
+            f"{op.alias}.{column.name} AS {sql_name(column)}"
+            for column in op.columns
+        )
+        from_clause = (
+            op.table if op.alias == op.table else f"{op.table} AS {op.alias}"
+        )
+        return f"SELECT {items} FROM {from_clause}", scope
+
+    def _render_select(self, op: Select) -> Tuple[str, Scope]:
+        from_item, scope, _ = self._derived(op.child)
+        where = render_expr(op.predicate, scope)
+        return f"SELECT * FROM {from_item} WHERE {where}", scope
+
+    def _render_project(self, op: Project) -> Tuple[str, Scope]:
+        from_item, scope, _ = self._derived(op.child)
+        out_scope: Scope = {}
+        items: List[str] = []
+        for column, expr in op.outputs:
+            ident = sql_name(column)
+            items.append(f"{render_expr(expr, scope)} AS {ident}")
+            out_scope[column.cid] = ident
+        return f"SELECT {', '.join(items)} FROM {from_item}", out_scope
+
+    def _render_join(self, op: Join) -> Tuple[str, Scope]:
+        if op.join_kind in (JoinKind.SEMI, JoinKind.ANTI):
+            return self._render_semi_anti(op)
+        left_item, left_scope, _ = self._derived(op.left)
+        right_item, right_scope, _ = self._derived(op.right)
+        scope = {**left_scope, **right_scope}
+        idents = list(left_scope.values()) + list(right_scope.values())
+        select_list = ", ".join(idents)
+        if op.join_kind is JoinKind.CROSS:
+            return (
+                f"SELECT {select_list} FROM {left_item} CROSS JOIN "
+                f"{right_item}",
+                scope,
+            )
+        keyword = {
+            JoinKind.INNER: "INNER JOIN",
+            JoinKind.LEFT_OUTER: "LEFT OUTER JOIN",
+        }[op.join_kind]
+        condition = render_expr(op.predicate, scope)
+        return (
+            f"SELECT {select_list} FROM {left_item} {keyword} {right_item} "
+            f"ON {condition}",
+            scope,
+        )
+
+    def _render_semi_anti(self, op: Join) -> Tuple[str, Scope]:
+        left_item, left_scope, _ = self._derived(op.left)
+        right_item, right_scope, _ = self._derived(op.right)
+        scope = {**left_scope, **right_scope}
+        condition = render_expr(op.predicate, scope)
+        negation = "NOT " if op.join_kind is JoinKind.ANTI else ""
+        select_list = ", ".join(left_scope.values())
+        return (
+            f"SELECT {select_list} FROM {left_item} WHERE {negation}EXISTS "
+            f"(SELECT 1 FROM {right_item} WHERE {condition})",
+            left_scope,
+        )
+
+    def _render_gbagg(self, op: GbAgg) -> Tuple[str, Scope]:
+        from_item, scope, _ = self._derived(op.child)
+        out_scope: Scope = {}
+        items: List[str] = []
+        for column in op.group_by:
+            ident = scope[column.cid]
+            items.append(ident)
+            out_scope[column.cid] = ident
+        for column, call in op.aggregates:
+            ident = sql_name(column)
+            items.append(f"{render_aggregate(call, scope)} AS {ident}")
+            out_scope[column.cid] = ident
+        sql = f"SELECT {', '.join(items)} FROM {from_item}"
+        if op.group_by:
+            group_idents = ", ".join(scope[c.cid] for c in op.group_by)
+            sql += f" GROUP BY {group_idents}"
+        return sql, out_scope
+
+    def _render_setop(self, op) -> Tuple[str, Scope]:
+        keyword = {
+            OpKind.UNION_ALL: "UNION ALL",
+            OpKind.UNION: "UNION",
+            OpKind.INTERSECT: "INTERSECT",
+            OpKind.EXCEPT: "EXCEPT",
+        }[op.kind]
+        left_item, left_scope, _ = self._derived(op.left)
+        right_item, right_scope, _ = self._derived(op.right)
+        out_scope: Scope = {}
+        left_items: List[str] = []
+        right_items: List[str] = []
+        for out, lcol, rcol in zip(
+            op.output_columns, op.left_columns, op.right_columns
+        ):
+            ident = sql_name(out)
+            left_items.append(f"{left_scope[lcol.cid]} AS {ident}")
+            right_items.append(f"{right_scope[rcol.cid]} AS {ident}")
+            out_scope[out.cid] = ident
+        left_sql = f"SELECT {', '.join(left_items)} FROM {left_item}"
+        right_sql = f"SELECT {', '.join(right_items)} FROM {right_item}"
+        return f"{left_sql} {keyword} {right_sql}", out_scope
+
+    def _render_distinct(self, op: Distinct) -> Tuple[str, Scope]:
+        from_item, scope, _ = self._derived(op.child)
+        return f"SELECT DISTINCT * FROM {from_item}", scope
+
+    def _render_sort(self, op: Sort) -> Tuple[str, Scope]:
+        from_item, scope, _ = self._derived(op.child)
+        keys = ", ".join(
+            f"{scope[key.column.cid]} {'ASC' if key.ascending else 'DESC'}"
+            for key in op.keys
+        )
+        return f"SELECT * FROM {from_item} ORDER BY {keys}", scope
+
+    def _render_limit(self, op: Limit) -> Tuple[str, Scope]:
+        from_item, scope, _ = self._derived(op.child)
+        return f"SELECT * FROM {from_item} LIMIT {op.count}", scope
+
+
+def render_expr(expr: Expr, scope: Scope) -> str:
+    """Render a scalar expression against ``scope`` (cid -> identifier)."""
+    if isinstance(expr, ColumnRef):
+        try:
+            return scope[expr.column.cid]
+        except KeyError:
+            raise KeyError(
+                f"column {expr.column.qualified_name}#{expr.column.cid} not "
+                "in SQL scope"
+            ) from None
+    if isinstance(expr, Literal):
+        return str(expr)
+    if isinstance(expr, Comparison):
+        return (
+            f"{render_expr(expr.left, scope)} {expr.op.value} "
+            f"{render_expr(expr.right, scope)}"
+        )
+    if isinstance(expr, BoolExpr):
+        sep = f" {expr.op.value} "
+        return "(" + sep.join(render_expr(a, scope) for a in expr.args) + ")"
+    if isinstance(expr, Not):
+        return f"NOT ({render_expr(expr.arg, scope)})"
+    if isinstance(expr, IsNull):
+        return f"{render_expr(expr.arg, scope)} IS NULL"
+    if isinstance(expr, Arithmetic):
+        return (
+            f"({render_expr(expr.left, scope)} {expr.op.value} "
+            f"{render_expr(expr.right, scope)})"
+        )
+    raise TypeError(f"cannot render {type(expr).__name__}")
+
+
+def render_aggregate(call: AggregateCall, scope: Scope) -> str:
+    if call.function is AggregateFunction.COUNT_STAR:
+        return "COUNT(*)"
+    return f"{call.function.value}({render_expr(call.argument, scope)})"
+
+
+def to_sql(op: LogicalOp) -> str:
+    """Render a logical query tree as a single SQL statement."""
+    return SqlGenerator().generate(op)

@@ -1,0 +1,116 @@
+"""SQL tokenizer for the dialect emitted by :mod:`repro.sql.generate`."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT",
+    "AS", "JOIN", "INNER", "LEFT", "OUTER", "CROSS", "ON", "UNION", "ALL",
+    "INTERSECT", "EXCEPT", "AND", "OR", "NOT", "IS", "NULL", "TRUE", "FALSE",
+    "EXISTS", "ASC", "DESC", "COUNT", "SUM", "MIN", "MAX", "AVG",
+}
+
+_OPERATORS = ("<>", "<=", ">=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+class LexError(Exception):
+    """Raised on unrecognized input."""
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; always ends with an EOF token."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        ch = text[position]
+        if ch.isspace():
+            position += 1
+            continue
+        if ch == "'":
+            end = position + 1
+            chunks = []
+            while True:
+                if end >= length:
+                    raise LexError(f"unterminated string at {position}")
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        chunks.append("'")
+                        end += 2
+                        continue
+                    break
+                chunks.append(text[end])
+                end += 1
+            yield Token(TokenType.STRING, "".join(chunks), position)
+            position = end + 1
+            continue
+        if ch.isdigit():
+            end = position
+            saw_dot = False
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not saw_dot)
+            ):
+                if text[end] == ".":
+                    # A dot not followed by a digit is punctuation.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    saw_dot = True
+                end += 1
+            yield Token(TokenType.NUMBER, text[position:end], position)
+            position = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenType.KEYWORD, upper, position)
+            else:
+                yield Token(TokenType.IDENT, word, position)
+            position = end
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if text.startswith(operator, position):
+                yield Token(TokenType.OPERATOR, operator, position)
+                position += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            yield Token(TokenType.PUNCT, ch, position)
+            position += 1
+            continue
+        raise LexError(f"unexpected character {ch!r} at {position}")
+    yield Token(TokenType.EOF, "", length)

@@ -1,0 +1,343 @@
+"""Recursive-descent parser for the generated SQL dialect."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sql.ast import (
+    BinaryOp,
+    BoolLit,
+    BoolOp,
+    DerivedTable,
+    ExistsExpr,
+    FuncCall,
+    IsNullOp,
+    JoinedTable,
+    NameRef,
+    NotOp,
+    NumberLit,
+    OrderItem,
+    QueryExpr,
+    SelectBlock,
+    SelectItem,
+    SetOpExpr,
+    SqlNode,
+    StringLit,
+    TableName,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_AGG_KEYWORDS = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+_COMPARISONS = {"=", "<>", "<", "<=", ">", ">="}
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid input."""
+
+
+class Parser:
+    """One-statement SQL parser."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    # ----------------------------------------------------------- token utils
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise ParseError(
+                f"expected {word} at position {token.position}, got "
+                f"{token.value!r}"
+            )
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, char: str) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.PUNCT or token.value != char:
+            raise ParseError(
+                f"expected {char!r} at position {token.position}, got "
+                f"{token.value!r}"
+            )
+        return self._advance()
+
+    def _accept_punct(self, char: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value == char:
+            self._advance()
+            return True
+        return False
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise ParseError(
+                f"expected identifier at position {token.position}, got "
+                f"{token.value!r}"
+            )
+        return self._advance().value
+
+    # ------------------------------------------------------------ statements
+
+    def parse(self) -> QueryExpr:
+        query = self._query_expr()
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise ParseError(
+                f"trailing input at position {token.position}: "
+                f"{token.value!r}"
+            )
+        return query
+
+    def _query_expr(self) -> QueryExpr:
+        left = self._query_term()
+        while True:
+            token = self._peek()
+            if token.is_keyword("UNION"):
+                self._advance()
+                op = "UNION ALL" if self._accept_keyword("ALL") else "UNION"
+                left = SetOpExpr(op, left, self._query_term())
+            elif token.is_keyword("INTERSECT"):
+                self._advance()
+                left = SetOpExpr("INTERSECT", left, self._query_term())
+            elif token.is_keyword("EXCEPT"):
+                self._advance()
+                left = SetOpExpr("EXCEPT", left, self._query_term())
+            else:
+                return left
+
+    def _query_term(self) -> QueryExpr:
+        if self._accept_punct("("):
+            inner = self._query_expr()
+            self._expect_punct(")")
+            return inner
+        return self._select_block()
+
+    def _select_block(self) -> SelectBlock:
+        self._expect_keyword("SELECT")
+        block = SelectBlock()
+        block.distinct = self._accept_keyword("DISTINCT")
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            block.star = True
+        else:
+            block.items.append(self._select_item())
+            while self._accept_punct(","):
+                block.items.append(self._select_item())
+        self._expect_keyword("FROM")
+        block.table = self._table_ref()
+        if self._accept_keyword("WHERE"):
+            block.where = self._expr()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            block.group_by.append(self._name_ref())
+            while self._accept_punct(","):
+                block.group_by.append(self._name_ref())
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            block.order_by.append(self._order_item())
+            while self._accept_punct(","):
+                block.order_by.append(self._order_item())
+        if self._accept_keyword("LIMIT"):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER:
+                raise ParseError(f"expected number after LIMIT, got {token.value!r}")
+            block.limit = int(self._advance().value)
+        return block
+
+    def _select_item(self) -> SelectItem:
+        expr = self._expr()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        return SelectItem(expr, alias)
+
+    def _order_item(self) -> OrderItem:
+        name = self._name_ref()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(name, ascending)
+
+    def _name_ref(self) -> NameRef:
+        first = self._expect_ident()
+        if self._accept_punct("."):
+            return NameRef(first, self._expect_ident())
+        return NameRef(None, first)
+
+    # ------------------------------------------------------------ table refs
+
+    def _table_ref(self) -> SqlNode:
+        left = self._table_primary()
+        while True:
+            token = self._peek()
+            if token.is_keyword("CROSS"):
+                self._advance()
+                self._expect_keyword("JOIN")
+                right = self._table_primary()
+                left = JoinedTable("CROSS", left, right, None)
+            elif token.is_keyword("INNER") or token.is_keyword("JOIN"):
+                if token.is_keyword("INNER"):
+                    self._advance()
+                self._expect_keyword("JOIN")
+                right = self._table_primary()
+                self._expect_keyword("ON")
+                left = JoinedTable("INNER", left, right, self._expr())
+            elif token.is_keyword("LEFT"):
+                self._advance()
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                right = self._table_primary()
+                self._expect_keyword("ON")
+                left = JoinedTable("LEFT", left, right, self._expr())
+            else:
+                return left
+
+    def _table_primary(self) -> SqlNode:
+        if self._accept_punct("("):
+            query = self._query_expr()
+            self._expect_punct(")")
+            self._expect_keyword("AS")
+            alias = self._expect_ident()
+            return DerivedTable(query, alias)
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        return TableName(name, alias)
+
+    # ----------------------------------------------------------- expressions
+
+    def _expr(self) -> SqlNode:
+        return self._or_expr()
+
+    def _or_expr(self) -> SqlNode:
+        parts = [self._and_expr()]
+        while self._accept_keyword("OR"):
+            parts.append(self._and_expr())
+        if len(parts) == 1:
+            return parts[0]
+        return BoolOp("OR", tuple(parts))
+
+    def _and_expr(self) -> SqlNode:
+        parts = [self._not_expr()]
+        while self._accept_keyword("AND"):
+            parts.append(self._not_expr())
+        if len(parts) == 1:
+            return parts[0]
+        return BoolOp("AND", tuple(parts))
+
+    def _not_expr(self) -> SqlNode:
+        if self._accept_keyword("NOT"):
+            if self._peek().is_keyword("EXISTS"):
+                exists = self._exists()
+                return ExistsExpr(exists.query, negated=True)
+            return NotOp(self._not_expr())
+        if self._peek().is_keyword("EXISTS"):
+            return self._exists()
+        return self._predicate()
+
+    def _exists(self) -> ExistsExpr:
+        self._expect_keyword("EXISTS")
+        self._expect_punct("(")
+        query = self._query_expr()
+        self._expect_punct(")")
+        return ExistsExpr(query, negated=False)
+
+    def _predicate(self) -> SqlNode:
+        left = self._additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISONS:
+            op = self._advance().value
+            right = self._additive()
+            return BinaryOp(op, left, right)
+        if token.is_keyword("IS"):
+            self._advance()
+            negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNullOp(left, negated)
+        return left
+
+    def _additive(self) -> SqlNode:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                op = self._advance().value
+                left = BinaryOp(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> SqlNode:
+        left = self._primary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/"):
+                op = self._advance().value
+                left = BinaryOp(op, left, self._primary())
+            else:
+                return left
+
+    def _primary(self) -> SqlNode:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            return NumberLit(self._advance().value)
+        if token.type is TokenType.STRING:
+            return StringLit(self._advance().value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return BoolLit(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return BoolLit(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return BoolLit(None)
+        if token.type is TokenType.KEYWORD and token.value in _AGG_KEYWORDS:
+            name = self._advance().value
+            self._expect_punct("(")
+            argument: Optional[SqlNode]
+            star = self._peek()
+            if (
+                name == "COUNT"
+                and star.type is TokenType.OPERATOR
+                and star.value == "*"
+            ):
+                self._advance()
+                argument = None
+            else:
+                argument = self._expr()
+            self._expect_punct(")")
+            return FuncCall(name, argument)
+        if token.type is TokenType.IDENT:
+            return self._name_ref()
+        if self._accept_punct("("):
+            inner = self._expr()
+            self._expect_punct(")")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+
+def parse_sql(text: str) -> QueryExpr:
+    """Parse one SQL statement into an AST."""
+    return Parser(text).parse()

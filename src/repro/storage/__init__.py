@@ -1,0 +1,6 @@
+"""In-memory storage engine: stored tables and the database container."""
+
+from repro.storage.database import Database, empty_database
+from repro.storage.table import StorageError, StoredTable
+
+__all__ = ["Database", "StorageError", "StoredTable", "empty_database"]

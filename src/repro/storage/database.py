@@ -1,0 +1,61 @@
+"""A database: a catalog plus the stored tables that implement it."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.catalog.schema import Catalog, SchemaError, TableDef
+from repro.catalog.stats import StatsRepository
+from repro.storage.table import StoredTable
+
+
+class Database:
+    """Container binding a :class:`Catalog` to in-memory :class:`StoredTable`s.
+
+    This is the "test database" the paper assumes as fixed input (Section
+    2.3): the framework is invoked against a given database, and both the
+    optimizer (through statistics) and the correctness harness (through
+    execution) read from it.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        catalog.validate()
+        self.catalog = catalog
+        self._tables: Dict[str, StoredTable] = {
+            table.name: StoredTable(table) for table in catalog.tables()
+        }
+
+    def table(self, name: str) -> StoredTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name!r}") from None
+
+    def tables(self) -> List[StoredTable]:
+        return list(self._tables.values())
+
+    def insert(self, table_name: str, rows: Iterable) -> None:
+        self.table(table_name).insert_many(rows)
+
+    def stats_repository(self) -> StatsRepository:
+        """Snapshot statistics for every table (used by the optimizer)."""
+        repo = StatsRepository()
+        for name, table in self._tables.items():
+            repo.set(name, table.stats())
+        return repo
+
+    def row_count(self, table_name: str) -> int:
+        return len(self.table(table_name))
+
+    def describe(self) -> str:
+        """Human-readable summary: table name and row count per table."""
+        lines = [
+            f"{name}: {len(table)} rows"
+            for name, table in sorted(self._tables.items())
+        ]
+        return "\n".join(lines)
+
+
+def empty_database(tables: Iterable[TableDef]) -> Database:
+    """Convenience constructor: build a database from table definitions."""
+    return Database(Catalog(list(tables)))

@@ -1,0 +1,506 @@
+"""Shared machinery for building random-but-valid logical query trees.
+
+Both query generators use a :class:`TreeBuilder`: the stochastic generator
+(RANDOM) asks it for arbitrary operators over arbitrary subtrees, the
+pattern-based generator (PATTERN) asks it to instantiate specific operator
+kinds at specific positions.  The builder owns the realistic argument
+distributions -- foreign-key joins are preferred over arbitrary column
+equalities, literals are drawn from column statistics, grouping prefers key
+columns -- which is what keeps generated queries executable and selective.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Catalog, DataType
+from repro.catalog.stats import StatsRepository
+from repro.expr.aggregates import AggregateCall, AggregateFunction
+from repro.expr.expressions import (
+    TRUE,
+    BoolConnective,
+    BoolExpr,
+    Column,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    IsNull,
+    Literal,
+    conjunction,
+)
+from repro.logical.operators import (
+    Distinct,
+    Except,
+    GbAgg,
+    Get,
+    Intersect,
+    Join,
+    JoinKind,
+    LogicalOp,
+    Project,
+    Select,
+    Union,
+    UnionAll,
+    make_get,
+)
+from repro.logical.properties import PropertyDeriver
+
+
+class GenerationFailure(Exception):
+    """Raised when an operator cannot be instantiated over given inputs."""
+
+
+#: (origin table, origin column name) for a bound column, tracked through
+#: pass-through operators by column identity.
+Origin = Tuple[str, str]
+
+
+def column_origins(tree: LogicalOp) -> Dict[int, Origin]:
+    """Map column ids to their base-table origin by collecting Get nodes."""
+    origins: Dict[int, Origin] = {}
+    for node in tree.walk():
+        if isinstance(node, Get):
+            for column in node.columns:
+                origins[column.cid] = (node.table, column.name)
+    return origins
+
+
+class TreeBuilder:
+    """Schema- and statistics-aware constructor of logical operators."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        rng: random.Random,
+        stats: Optional[StatsRepository] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.rng = rng
+        self.stats = stats
+        self.deriver = PropertyDeriver(catalog)
+        self._alias_counter = 0
+        # Single-column foreign keys: (table, column) -> (ref table, ref col).
+        self._fk_edges: List[Tuple[Origin, Origin]] = []
+        for table in catalog.tables():
+            for fk in table.foreign_keys:
+                if len(fk.columns) == 1:
+                    self._fk_edges.append(
+                        (
+                            (table.name, fk.columns[0]),
+                            (fk.ref_table, fk.ref_columns[0]),
+                        )
+                    )
+
+    # ------------------------------------------------------------------ leaves
+
+    def random_get(self, table_name: Optional[str] = None) -> Get:
+        """A Get over a random (or named) table with a unique alias."""
+        if table_name is None:
+            table_name = self.rng.choice(self.catalog.table_names)
+        self._alias_counter += 1
+        alias = f"{table_name}_{self._alias_counter}"
+        return make_get(self.catalog.table(table_name), alias)
+
+    def outputs(self, tree: LogicalOp) -> Tuple[Column, ...]:
+        """Output columns of a tree (derived, not validated)."""
+        return self.deriver.derive_tree(tree).columns
+
+    # ------------------------------------------------------------- predicates
+
+    def _literal_for(self, column: Column, origins: Dict[int, Origin]) -> Literal:
+        """A literal plausible for ``column`` (from stats when available)."""
+        origin = origins.get(column.cid)
+        if self.stats is not None and origin is not None:
+            table, name = origin
+            if self.stats.has(table) and self.stats.get(table).has_column(name):
+                col_stats = self.stats.get(table).column(name)
+                lo, hi = col_stats.min_value, col_stats.max_value
+                if lo is not None and hi is not None:
+                    return self._literal_between(column.data_type, lo, hi)
+        return self._default_literal(column.data_type)
+
+    def _literal_between(self, data_type: DataType, lo, hi) -> Literal:
+        if data_type is DataType.INT or data_type is DataType.DATE:
+            return Literal(self.rng.randint(int(lo), int(hi)), data_type)
+        if data_type is DataType.FLOAT:
+            return Literal(round(self.rng.uniform(lo, hi), 2), data_type)
+        if data_type is DataType.BOOL:
+            return Literal(self.rng.random() < 0.5, data_type)
+        # Strings: pick one of the boundary values (guaranteed to exist).
+        return Literal(self.rng.choice([lo, hi]), data_type)
+
+    def _default_literal(self, data_type: DataType) -> Literal:
+        if data_type is DataType.INT:
+            return Literal(self.rng.randint(0, 200), data_type)
+        if data_type is DataType.DATE:
+            return Literal(self.rng.randint(730_000, 731_000), data_type)
+        if data_type is DataType.FLOAT:
+            return Literal(round(self.rng.uniform(0, 1000), 2), data_type)
+        if data_type is DataType.BOOL:
+            return Literal(self.rng.random() < 0.5, data_type)
+        return Literal("zzz", data_type)
+
+    def comparison_on(
+        self,
+        columns: Sequence[Column],
+        origins: Dict[int, Origin],
+        equality_only: bool = False,
+    ) -> Expr:
+        """One random comparison conjunct over ``columns``."""
+        column = self.rng.choice(list(columns))
+        roll = self.rng.random()
+        if roll < 0.08 and not equality_only:
+            return IsNull(ColumnRef(column))
+        ops = (
+            [ComparisonOp.EQ]
+            if equality_only
+            else [
+                ComparisonOp.EQ,
+                ComparisonOp.NE,
+                ComparisonOp.LT,
+                ComparisonOp.LE,
+                ComparisonOp.GT,
+                ComparisonOp.GE,
+            ]
+        )
+        op = self.rng.choice(ops)
+        # Occasionally compare two columns of the same type.
+        same_type = [
+            other
+            for other in columns
+            if other != column and other.data_type is column.data_type
+        ]
+        if same_type and self.rng.random() < 0.15:
+            other = self.rng.choice(same_type)
+            return Comparison(op, ColumnRef(column), ColumnRef(other))
+        literal = self._literal_for(column, origins)
+        return Comparison(op, ColumnRef(column), literal)
+
+    def predicate_on(
+        self,
+        columns: Sequence[Column],
+        origins: Dict[int, Origin],
+        max_conjuncts: int = 2,
+    ) -> Expr:
+        """A random predicate (1..max_conjuncts conjuncts, rare OR).
+
+        A small fraction of predicates are the literal TRUE -- degenerate
+        filters do occur in machine-generated SQL, and they keep rules like
+        SelectTrueRemoval reachable for the stochastic generator.
+        """
+        if not columns or self.rng.random() < 0.03:
+            return TRUE
+        count = self.rng.randint(1, max_conjuncts)
+        parts = [
+            self.comparison_on(columns, origins) for _ in range(count)
+        ]
+        if len(parts) >= 2 and self.rng.random() < 0.2:
+            return BoolExpr(BoolConnective.OR, tuple(parts))
+        return conjunction(parts)
+
+    # ------------------------------------------------------------------ joins
+
+    def fk_join_pairs(
+        self, left: LogicalOp, right: LogicalOp
+    ) -> List[Tuple[Column, Column]]:
+        """(left column, right column) pairs connected by a declared FK,
+        in either direction."""
+        left_outputs = self.outputs(left)
+        right_outputs = self.outputs(right)
+        left_origins = column_origins(left)
+        right_origins = column_origins(right)
+        left_by_origin: Dict[Origin, Column] = {}
+        for column in left_outputs:
+            origin = left_origins.get(column.cid)
+            if origin is not None:
+                left_by_origin.setdefault(origin, column)
+        right_by_origin: Dict[Origin, Column] = {}
+        for column in right_outputs:
+            origin = right_origins.get(column.cid)
+            if origin is not None:
+                right_by_origin.setdefault(origin, column)
+
+        pairs: List[Tuple[Column, Column]] = []
+        for fk_side, pk_side in self._fk_edges:
+            if fk_side in left_by_origin and pk_side in right_by_origin:
+                pairs.append(
+                    (left_by_origin[fk_side], right_by_origin[pk_side])
+                )
+            if pk_side in left_by_origin and fk_side in right_by_origin:
+                pairs.append(
+                    (left_by_origin[pk_side], right_by_origin[fk_side])
+                )
+        return pairs
+
+    def join_predicate(
+        self,
+        left: LogicalOp,
+        right: LogicalOp,
+        prefer_fk: float = 0.75,
+        right_columns: Optional[Sequence[Column]] = None,
+        left_columns: Optional[Sequence[Column]] = None,
+        require_fk_pk: bool = False,
+    ) -> Optional[Expr]:
+        """An equality predicate joining ``left`` and ``right``.
+
+        ``require_fk_pk`` restricts to declared FK->key pairs oriented so the
+        right column is the referenced key (used by hints such as
+        SemiJoinToJoinOnKey / GbAggPullAboveJoin).  Returns ``None`` when no
+        predicate can be built.
+        """
+        pairs = self.fk_join_pairs(left, right)
+        if require_fk_pk:
+            pairs = self._key_oriented(pairs, right)
+        if left_columns is not None:
+            allowed = {column.cid for column in left_columns}
+            pairs = [p for p in pairs if p[0].cid in allowed]
+        if right_columns is not None:
+            allowed = {column.cid for column in right_columns}
+            pairs = [p for p in pairs if p[1].cid in allowed]
+        if pairs and (require_fk_pk or self.rng.random() < prefer_fk):
+            lcol, rcol = self.rng.choice(pairs)
+            return Comparison(ComparisonOp.EQ, ColumnRef(lcol), ColumnRef(rcol))
+        if require_fk_pk:
+            return None
+        lcands = list(left_columns or self.outputs(left))
+        rcands = list(right_columns or self.outputs(right))
+        self.rng.shuffle(lcands)
+        for lcol in lcands:
+            matches = [
+                rcol for rcol in rcands if rcol.data_type is lcol.data_type
+            ]
+            if matches:
+                rcol = self.rng.choice(matches)
+                return Comparison(
+                    ComparisonOp.EQ, ColumnRef(lcol), ColumnRef(rcol)
+                )
+        return None
+
+    def fk_reference_targets(self, tables) -> List[str]:
+        """Tables referenced (via a declared FK) by any table in ``tables``."""
+        return sorted(
+            {
+                pk_side[0]
+                for fk_side, pk_side in self._fk_edges
+                if fk_side[0] in tables
+            }
+        )
+
+    def _key_oriented(self, pairs, right: LogicalOp):
+        """Keep pairs whose right column is a unique key of the right tree."""
+        right_props = self.deriver.derive_tree(right)
+        return [
+            (lcol, rcol)
+            for lcol, rcol in pairs
+            if right_props.has_key(frozenset([rcol.cid]))
+        ]
+
+    def make_join(
+        self,
+        left: LogicalOp,
+        right: LogicalOp,
+        kind: JoinKind,
+        predicate: Optional[Expr] = None,
+    ) -> Join:
+        if kind is JoinKind.CROSS:
+            return Join(JoinKind.CROSS, left, right, TRUE)
+        if predicate is None:
+            predicate = self.join_predicate(left, right)
+        if predicate is None:
+            if kind is JoinKind.INNER:
+                return Join(JoinKind.CROSS, left, right, TRUE)
+            raise GenerationFailure(
+                f"no join predicate available for {kind.value} join"
+            )
+        return Join(kind, left, right, predicate)
+
+    # ------------------------------------------------------------ aggregation
+
+    def make_gbagg(
+        self,
+        child: LogicalOp,
+        group_hint: Optional[str] = None,
+        agg_hint: Optional[str] = None,
+        agg_source: Optional[Sequence[Column]] = None,
+    ) -> GbAgg:
+        """A GbAgg over ``child``.
+
+        ``group_hint``: "include_key" makes the grouping contain a key of the
+        child; "foreign_key" prefers FK columns (realistic grouping keys).
+        ``agg_hint``: "count_star" emits COUNT(*); ``agg_source`` restricts
+        aggregate arguments to the given columns.
+        """
+        props = self.deriver.derive_tree(child)
+        columns = list(props.columns)
+        origins = column_origins(child)
+
+        if group_hint == "include_key" and props.keys:
+            key = self.rng.choice(sorted(props.keys, key=sorted))
+            by_id = {column.cid: column for column in columns}
+            group = [by_id[cid] for cid in sorted(key)]
+            extras = [c for c in columns if c.cid not in key]
+            if extras and self.rng.random() < 0.5:
+                group.append(self.rng.choice(extras))
+        else:
+            candidates = list(columns)
+            if group_hint == "foreign_key":
+                fk_cols = [
+                    column
+                    for column in columns
+                    if self._is_fk_column(origins.get(column.cid))
+                ]
+                if fk_cols:
+                    candidates = fk_cols
+            size = min(len(candidates), self.rng.randint(1, 2))
+            group = self.rng.sample(candidates, size)
+
+        group_ids = {column.cid for column in group}
+        agg_candidates = [
+            column
+            for column in (agg_source if agg_source is not None else columns)
+            if column.data_type.is_numeric and column.cid not in group_ids
+        ]
+        aggregates: List[Tuple[Column, AggregateCall]] = []
+        if agg_hint == "count_star" or not agg_candidates:
+            call = AggregateCall(AggregateFunction.COUNT_STAR)
+        elif agg_hint == "avg":
+            call = AggregateCall(
+                AggregateFunction.AVG,
+                ColumnRef(self.rng.choice(agg_candidates)),
+            )
+        else:
+            function = self.rng.choice(
+                [
+                    AggregateFunction.SUM,
+                    AggregateFunction.SUM,
+                    AggregateFunction.MIN,
+                    AggregateFunction.MAX,
+                    AggregateFunction.COUNT,
+                    AggregateFunction.AVG,
+                ]
+            )
+            argument = ColumnRef(self.rng.choice(agg_candidates))
+            call = AggregateCall(function, argument)
+        out = Column(
+            name=f"agg_{self._next_id()}",
+            data_type=call.result_type(),
+            nullable=call.result_nullable(),
+        )
+        aggregates.append((out, call))
+        return GbAgg(child, tuple(group), tuple(aggregates))
+
+    def _is_fk_column(self, origin: Optional[Origin]) -> bool:
+        if origin is None:
+            return False
+        return any(fk_side == origin for fk_side, _ in self._fk_edges)
+
+    def _next_id(self) -> int:
+        self._alias_counter += 1
+        return self._alias_counter
+
+    # --------------------------------------------------------------- set ops
+
+    def make_setop(
+        self, ctor, left: LogicalOp, right: LogicalOp
+    ) -> LogicalOp:
+        """Union-compatible set operation over two arbitrary subtrees.
+
+        Picks 1-3 columns from the left and type-matching columns from the
+        right; raises :class:`GenerationFailure` when the sides cannot be
+        aligned.
+        """
+        left_outputs = list(self.outputs(left))
+        right_outputs = list(self.outputs(right))
+        self.rng.shuffle(left_outputs)
+        chosen_left: List[Column] = []
+        chosen_right: List[Column] = []
+        used_right = set()
+        target = self.rng.randint(1, 3)
+        for lcol in left_outputs:
+            matches = [
+                rcol
+                for rcol in right_outputs
+                if rcol.data_type is lcol.data_type
+                and rcol.cid not in used_right
+            ]
+            if not matches:
+                continue
+            rcol = self.rng.choice(matches)
+            chosen_left.append(lcol)
+            chosen_right.append(rcol)
+            used_right.add(rcol.cid)
+            if len(chosen_left) >= target:
+                break
+        if not chosen_left:
+            raise GenerationFailure("no union-compatible columns")
+        outputs = tuple(
+            Column(
+                name=f"u_{lcol.name}",
+                data_type=lcol.data_type,
+                nullable=True,
+            )
+            for lcol in chosen_left
+        )
+        return ctor(
+            left, right, outputs, tuple(chosen_left), tuple(chosen_right)
+        )
+
+    # ------------------------------------------------------------ projections
+
+    def make_project(
+        self, child: LogicalOp, passthrough_all: bool = False
+    ) -> Project:
+        columns = list(self.outputs(child))
+        if passthrough_all:
+            chosen = columns
+        else:
+            size = min(len(columns), self.rng.randint(1, 4))
+            chosen = self.rng.sample(columns, size)
+        outputs = tuple((column, ColumnRef(column)) for column in chosen)
+        return Project(child, outputs)
+
+    def make_select(
+        self,
+        child: LogicalOp,
+        predicate_hint: Optional[str] = None,
+    ) -> Select:
+        """A Select over ``child``; ``predicate_hint`` steers the predicate:
+
+        * ``"true"`` -- the literal TRUE;
+        * ``"group_columns"`` -- over the child GbAgg's grouping columns;
+        * ``"left_side"`` / ``"right_side"`` -- over one join input;
+        * ``"cross_equality"`` -- an equality spanning both join inputs.
+        """
+        origins = column_origins(child)
+        if predicate_hint == "true":
+            return Select(child, TRUE)
+        if predicate_hint == "group_columns" and isinstance(child, GbAgg):
+            columns = child.group_by or self.outputs(child)
+            return Select(child, self.predicate_on(columns, origins, 1))
+        if (
+            predicate_hint in ("left_side", "right_side")
+            and isinstance(child, Join)
+        ):
+            side = child.left if predicate_hint == "left_side" else child.right
+            columns = self.outputs(side)
+            return Select(child, self.predicate_on(columns, origins, 1))
+        if predicate_hint == "cross_equality" and isinstance(child, Join):
+            predicate = self.join_predicate(child.left, child.right)
+            if predicate is None:
+                raise GenerationFailure("no cross-side equality available")
+            extra = None
+            if self.rng.random() < 0.3:
+                extra = self.comparison_on(
+                    self.outputs(child), origins
+                )
+            return Select(child, conjunction([predicate, extra]))
+        columns = self.outputs(child)
+        return Select(child, self.predicate_on(columns, origins))
+
+    def make_distinct(self, child: LogicalOp) -> Distinct:
+        return Distinct(child)
+
+
+SET_OP_CTORS = (UnionAll, Union, Intersect, Except)

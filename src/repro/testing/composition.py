@@ -1,0 +1,88 @@
+"""Rule-pattern composition for rule pairs (paper, Section 3.2).
+
+Given the patterns of two rules, composite patterns are built in the two
+ways the paper describes:
+
+1. **Root composition**: a new pattern whose root is a join (or UNION ALL)
+   with the two original patterns as children.
+2. **Substitution composition**: a generic placeholder of one pattern is
+   replaced by the other pattern (every generic position is tried, in both
+   directions).
+
+Candidates are returned smallest-first, so a driver that walks the list and
+returns the first success naturally yields "the query with the least number
+of operators that exercises both rules".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.logical.operators import JoinKind, OpKind
+from repro.rules.framework import PatternNode
+
+
+def _root_join(left: PatternNode, right: PatternNode) -> PatternNode:
+    return PatternNode(
+        OpKind.JOIN, (left, right), join_kinds=(JoinKind.INNER,)
+    )
+
+
+def _root_union(left: PatternNode, right: PatternNode) -> PatternNode:
+    return PatternNode(OpKind.UNION_ALL, (left, right))
+
+
+def _generic_positions(pattern: PatternNode) -> List[Tuple[int, ...]]:
+    """Paths (child-index tuples) of every generic node in ``pattern``."""
+    positions: List[Tuple[int, ...]] = []
+
+    def visit(node: PatternNode, path: Tuple[int, ...]) -> None:
+        if node.is_generic:
+            positions.append(path)
+            return
+        for index, child in enumerate(node.children):
+            visit(child, path + (index,))
+
+    visit(pattern, ())
+    return positions
+
+
+def _replace_at(
+    pattern: PatternNode, path: Tuple[int, ...], replacement: PatternNode
+) -> PatternNode:
+    if not path:
+        return replacement
+    index = path[0]
+    children = list(pattern.children)
+    children[index] = _replace_at(children[index], path[1:], replacement)
+    return PatternNode(pattern.kind, tuple(children), pattern.join_kinds)
+
+
+def substitution_compositions(
+    outer: PatternNode, inner: PatternNode
+) -> Iterator[PatternNode]:
+    """``inner`` substituted into each generic position of ``outer``."""
+    for path in _generic_positions(outer):
+        if path:  # the root itself being generic is not a composition
+            yield _replace_at(outer, path, inner)
+
+
+def compose_patterns(
+    first: PatternNode, second: PatternNode
+) -> List[PatternNode]:
+    """All composite patterns for a rule pair, smallest-first and deduped."""
+    candidates: List[PatternNode] = []
+    candidates.extend(substitution_compositions(first, second))
+    candidates.extend(substitution_compositions(second, first))
+    candidates.append(_root_join(first, second))
+    candidates.append(_root_join(second, first))
+    candidates.append(_root_union(first, second))
+
+    seen = set()
+    unique: List[PatternNode] = []
+    for candidate in candidates:
+        if candidate not in seen:
+            seen.add(candidate)
+            unique.append(candidate)
+    unique.sort(key=lambda pattern: pattern.size())
+    return unique

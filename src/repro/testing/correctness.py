@@ -1,0 +1,137 @@
+"""Test-suite execution for correctness testing (paper, Sections 2.3 / 4).
+
+For every selected query the runner executes ``Plan(q)`` once; for every
+(rule node, query) edge of the compression plan it executes
+``Plan(q, ¬R)`` and compares the two results as bags.  A mismatch is a
+correctness bug in (at least one of) the disabled rules.
+
+Per the paper's footnote, when the two plans are structurally identical the
+execution/comparison is skipped -- the results are guaranteed equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.executor import ExecutionError, execute_plan
+from repro.engine.results import QueryResult, diff_summary, results_identical
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.engine import Optimizer
+from repro.optimizer.result import OptimizationError
+from repro.rules.registry import RuleRegistry
+from repro.storage.database import Database
+from repro.testing.compression import CompressionPlan
+from repro.testing.suite import RuleNode, SuiteQuery, TestSuite
+
+
+@dataclass
+class CorrectnessIssue:
+    """One detected correctness bug."""
+
+    rule_node: RuleNode
+    query_id: int
+    sql: str
+    detail: str
+
+    def __str__(self) -> str:
+        rules = " + ".join(self.rule_node)
+        return f"[{rules}] query {self.query_id}: {self.detail}"
+
+
+@dataclass
+class CorrectnessReport:
+    """Outcome of executing one compression plan."""
+
+    issues: List[CorrectnessIssue] = field(default_factory=list)
+    queries_executed: int = 0
+    disabled_plans_executed: int = 0
+    comparisons: int = 0
+    skipped_identical_plans: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.issues and not self.errors
+
+
+class CorrectnessRunner:
+    """Executes a compression plan against the test database."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: RuleRegistry,
+        config: Optional[OptimizerConfig] = None,
+    ) -> None:
+        self.database = database
+        self.registry = registry
+        self.config = config or OptimizerConfig()
+        self.stats = database.stats_repository()
+
+    def _optimize(self, query: SuiteQuery, rules_off: RuleNode = ()):
+        optimizer = Optimizer(
+            self.database.catalog,
+            self.stats,
+            self.registry,
+            self.config.with_disabled(rules_off),
+        )
+        return optimizer.optimize(query.tree)
+
+    def run(self, plan: CompressionPlan, suite: TestSuite) -> CorrectnessReport:
+        """Execute the test suite described by ``plan``."""
+        report = CorrectnessReport()
+        baseline_results: Dict[int, QueryResult] = {}
+        baseline_plans: Dict[int, object] = {}
+
+        for query_id in sorted(plan.selected_query_ids):
+            query = suite.query(query_id)
+            try:
+                result = self._optimize(query)
+                baseline_plans[query_id] = result.plan
+                baseline_results[query_id] = execute_plan(
+                    result.plan, self.database, result.output_columns
+                )
+                report.queries_executed += 1
+            except (OptimizationError, ExecutionError) as exc:
+                report.errors.append(f"query {query_id}: {exc}")
+
+        for node, query_ids in plan.assignments.items():
+            for query_id in query_ids:
+                if query_id not in baseline_results:
+                    continue
+                query = suite.query(query_id)
+                try:
+                    disabled = self._optimize(query, node)
+                except OptimizationError as exc:
+                    report.errors.append(
+                        f"query {query_id} ¬{node}: {exc}"
+                    )
+                    continue
+                if disabled.plan == baseline_plans[query_id]:
+                    # Identical plans guarantee identical results (paper,
+                    # footnote 1): skip execution.
+                    report.skipped_identical_plans += 1
+                    continue
+                try:
+                    alternative = execute_plan(
+                        disabled.plan, self.database, disabled.output_columns
+                    )
+                except ExecutionError as exc:
+                    report.errors.append(
+                        f"query {query_id} ¬{node}: {exc}"
+                    )
+                    continue
+                report.disabled_plans_executed += 1
+                report.comparisons += 1
+                expected = baseline_results[query_id]
+                if not results_identical(expected, alternative):
+                    report.issues.append(
+                        CorrectnessIssue(
+                            rule_node=node,
+                            query_id=query_id,
+                            sql=query.sql,
+                            detail=diff_summary(expected, alternative),
+                        )
+                    )
+        return report

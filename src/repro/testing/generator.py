@@ -1,0 +1,309 @@
+"""The Query Generation component (paper, Figure 2).
+
+:class:`QueryGenerator` ties together the two generation strategies --
+RANDOM (stochastic baseline) and PATTERN (rule-pattern driven) -- with the
+optimizer extensions (``RuleSet(q)`` tracking), and exposes the paper's
+interfaces:
+
+* generate a SQL query exercising a **singleton rule** (Section 3.1);
+* generate a SQL query exercising a **rule pair** via pattern composition
+  (Section 3.2);
+* generate more complex queries by **adding N random operators** to a
+  pattern-derived tree (Section 2.3, used for correctness testing);
+* the Section 7 variant: generate a query for which a rule is **relevant**
+  (turning the rule off changes the chosen plan).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.logical.operators import LogicalOp
+from repro.logical.validate import ValidationError, validate_tree
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.engine import Optimizer
+from repro.optimizer.result import OptimizationError, OptimizeResult
+from repro.rules.registry import RuleRegistry, default_registry
+from repro.sql.generate import to_sql
+from repro.storage.database import Database
+from repro.testing.builders import GenerationFailure
+from repro.testing.composition import compose_patterns
+from repro.testing.pattern_gen import (
+    PatternInstantiator,
+    add_random_operators,
+    merge_hints,
+)
+from repro.testing.random_gen import RandomQueryGenerator
+
+
+@dataclass
+class GenerationOutcome:
+    """Result of one generation campaign for a rule (or rule set)."""
+
+    target_rules: Tuple[str, ...]
+    succeeded: bool
+    trials: int
+    optimizer_calls: int
+    elapsed_seconds: float
+    tree: Optional[LogicalOp] = None
+    sql: Optional[str] = None
+    optimize_result: Optional[OptimizeResult] = None
+
+    @property
+    def operator_count(self) -> int:
+        return self.tree.tree_size() if self.tree is not None else 0
+
+
+class QueryGenerator:
+    """Generates SQL test queries that exercise target transformation rules."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: Optional[RuleRegistry] = None,
+        seed: int = 0,
+        config: Optional[OptimizerConfig] = None,
+    ) -> None:
+        self.database = database
+        self.registry = registry or default_registry()
+        self.config = config or OptimizerConfig()
+        self.stats = database.stats_repository()
+        self.optimizer = Optimizer(
+            database.catalog, self.stats, self.registry, self.config
+        )
+        self.rng = random.Random(seed)
+        self._random_gen = RandomQueryGenerator(
+            database.catalog, seed=self.rng.randrange(2**31), stats=self.stats
+        )
+        self._instantiator = PatternInstantiator(
+            database.catalog, self.rng, self.stats
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _try_query(
+        self, tree: LogicalOp, targets: Sequence[str]
+    ) -> Optional[OptimizeResult]:
+        """Optimize ``tree``; return the result if all targets exercised."""
+        try:
+            validate_tree(tree, self.database.catalog)
+        except ValidationError:
+            return None
+        try:
+            result = self.optimizer.optimize(tree)
+        except OptimizationError:
+            return None
+        if all(name in result.rules_exercised for name in targets):
+            return result
+        return None
+
+    def _campaign(
+        self,
+        targets: Sequence[str],
+        make_tree,
+        max_trials: int,
+    ) -> GenerationOutcome:
+        """Run trials of ``make_tree`` until all ``targets`` are exercised."""
+        start = time.perf_counter()
+        optimizer_calls = 0
+        for trial in range(1, max_trials + 1):
+            try:
+                tree = make_tree(trial)
+            except GenerationFailure:
+                continue
+            if tree is None:
+                continue
+            optimizer_calls += 1
+            result = self._try_query(tree, targets)
+            if result is not None:
+                return GenerationOutcome(
+                    target_rules=tuple(targets),
+                    succeeded=True,
+                    trials=trial,
+                    optimizer_calls=optimizer_calls,
+                    elapsed_seconds=time.perf_counter() - start,
+                    tree=tree,
+                    sql=to_sql(tree),
+                    optimize_result=result,
+                )
+        return GenerationOutcome(
+            target_rules=tuple(targets),
+            succeeded=False,
+            trials=max_trials,
+            optimizer_calls=optimizer_calls,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    # -------------------------------------------------------- singleton rules
+
+    def random_query_for_rule(
+        self, rule_name: str, max_trials: int = 500
+    ) -> GenerationOutcome:
+        """RANDOM baseline: stochastic trees until the rule is exercised."""
+        self.registry.rule(rule_name)  # validate the name early
+
+        def make_tree(_trial: int) -> LogicalOp:
+            return self._random_gen.random_tree()
+
+        return self._campaign([rule_name], make_tree, max_trials)
+
+    def pattern_query_for_rule(
+        self,
+        rule_name: str,
+        max_trials: int = 25,
+        extra_operators: int = 0,
+    ) -> GenerationOutcome:
+        """PATTERN: instantiate the rule's own pattern (Section 3.1).
+
+        ``extra_operators`` wraps each candidate in that many additional
+        random operators (the complexity knob of Section 2.3).
+        """
+        rule = self.registry.rule(rule_name)
+        hints = merge_hints([rule])
+
+        def make_tree(_trial: int) -> LogicalOp:
+            tree = self._instantiator.instantiate(rule.pattern, hints)
+            if extra_operators:
+                tree = add_random_operators(
+                    tree,
+                    extra_operators,
+                    self.database.catalog,
+                    self.rng,
+                    self.stats,
+                )
+            return tree
+
+        return self._campaign([rule_name], make_tree, max_trials)
+
+    # ------------------------------------------------------------- rule pairs
+
+    def random_query_for_pair(
+        self, first: str, second: str, max_trials: int = 2000
+    ) -> GenerationOutcome:
+        """RANDOM baseline for a rule pair."""
+        self.registry.rule(first)
+        self.registry.rule(second)
+
+        def make_tree(_trial: int) -> LogicalOp:
+            return self._random_gen.random_tree()
+
+        return self._campaign([first, second], make_tree, max_trials)
+
+    def pattern_query_for_pair(
+        self, first: str, second: str, max_trials: int = 50
+    ) -> GenerationOutcome:
+        """PATTERN for a rule pair via pattern composition (Section 3.2).
+
+        Composite patterns are tried smallest-first, so the first success is
+        the candidate with the fewest operators.
+        """
+        rule_a = self.registry.rule(first)
+        rule_b = self.registry.rule(second)
+        composites = compose_patterns(rule_a.pattern, rule_b.pattern)
+        hints = merge_hints([rule_a, rule_b])
+
+        def make_tree(trial: int) -> LogicalOp:
+            # Cycle through composites; several trials per composite.
+            composite = composites[(trial - 1) % len(composites)]
+            return self._instantiator.instantiate(composite, hints)
+
+        return self._campaign([first, second], make_tree, max_trials)
+
+    # -------------------------------------------------- Section 7 extensions
+
+    def derived_interaction_query(
+        self, producer: str, consumer: str, max_trials: int = 80
+    ) -> GenerationOutcome:
+        """Generate a query exhibiting the Section 7 interaction variant:
+        ``consumer`` is exercised on an expression *obtained as a result of
+        exercising* ``producer`` (not merely both firing somewhere).
+
+        Uses pattern composition as for plain pairs, but accepts a candidate
+        only when the optimizer's provenance tracking recorded the
+        ``(producer, consumer)`` edge.
+        """
+        rule_a = self.registry.rule(producer)
+        rule_b = self.registry.rule(consumer)
+        composites = compose_patterns(rule_a.pattern, rule_b.pattern)
+        hints = merge_hints([rule_a, rule_b])
+        start = time.perf_counter()
+        optimizer_calls = 0
+        for trial in range(1, max_trials + 1):
+            composite = composites[(trial - 1) % len(composites)]
+            try:
+                tree = self._instantiator.instantiate(composite, hints)
+            except GenerationFailure:
+                continue
+            optimizer_calls += 1
+            result = self._try_query(tree, [producer, consumer])
+            if result is None:
+                continue
+            if (producer, consumer) in result.rule_interactions:
+                return GenerationOutcome(
+                    target_rules=(producer, consumer),
+                    succeeded=True,
+                    trials=trial,
+                    optimizer_calls=optimizer_calls,
+                    elapsed_seconds=time.perf_counter() - start,
+                    tree=tree,
+                    sql=to_sql(tree),
+                    optimize_result=result,
+                )
+        return GenerationOutcome(
+            target_rules=(producer, consumer),
+            succeeded=False,
+            trials=max_trials,
+            optimizer_calls=optimizer_calls,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def relevant_query_for_rule(
+        self, rule_name: str, max_trials: int = 50
+    ) -> GenerationOutcome:
+        """Generate a query for which ``rule_name`` is *relevant*: turning
+        the rule off changes the optimizer's chosen plan (Section 7)."""
+        rule = self.registry.rule(rule_name)
+        hints = merge_hints([rule])
+        start = time.perf_counter()
+        optimizer_calls = 0
+        disabled = Optimizer(
+            self.database.catalog,
+            self.stats,
+            self.registry,
+            self.config.with_disabled([rule_name]),
+        )
+        for trial in range(1, max_trials + 1):
+            try:
+                tree = self._instantiator.instantiate(rule.pattern, hints)
+            except GenerationFailure:
+                continue
+            optimizer_calls += 1
+            result = self._try_query(tree, [rule_name])
+            if result is None:
+                continue
+            optimizer_calls += 1
+            try:
+                without = disabled.optimize(tree)
+            except OptimizationError:
+                continue
+            if without.plan != result.plan:
+                return GenerationOutcome(
+                    target_rules=(rule_name,),
+                    succeeded=True,
+                    trials=trial,
+                    optimizer_calls=optimizer_calls,
+                    elapsed_seconds=time.perf_counter() - start,
+                    tree=tree,
+                    sql=to_sql(tree),
+                    optimize_result=result,
+                )
+        return GenerationOutcome(
+            target_rules=(rule_name,),
+            succeeded=False,
+            trials=max_trials,
+            optimizer_calls=optimizer_calls,
+            elapsed_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,256 @@
+"""PATTERN: rule-pattern-based query generation (paper, Section 3.1).
+
+The generator builds a logical query tree *starting from the rule's own
+pattern*: non-generic pattern nodes are instantiated as the corresponding
+operators, generic placeholders become base-table accesses, and operator
+arguments (predicates, grouping columns, aggregates) are drawn from the
+builder's realistic distributions.  Containing the pattern is necessary but
+not sufficient for the rule to fire, so a driver still optimizes each
+candidate and checks ``RuleSet(q)`` -- but the number of trials drops to a
+handful, which is the paper's headline result (Figures 8-10).
+
+Rules may export argument-level *generation hints* (the paper's "additional
+preconditions on the input pattern"); hints are merged per aspect and
+applied contextually, so composed patterns for rule pairs reuse both rules'
+hints.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Catalog
+from repro.catalog.stats import StatsRepository
+from repro.logical.operators import (
+    Except,
+    GbAgg,
+    Intersect,
+    Join,
+    JoinKind,
+    LogicalOp,
+    OpKind,
+    Union,
+    UnionAll,
+)
+from repro.rules.framework import PatternNode, Rule
+from repro.testing.builders import GenerationFailure, TreeBuilder
+
+#: Merged hints: aspect -> candidate values (tried contextually).
+Hints = Dict[str, Tuple[str, ...]]
+
+
+def merge_hints(rules: Sequence[Rule]) -> Hints:
+    """Merge the generation hints of several rules, keeping all candidates."""
+    merged: Dict[str, List[str]] = {}
+    for rule in rules:
+        for key, value in rule.generation_hints.items():
+            merged.setdefault(key, [])
+            if value not in merged[key]:
+                merged[key].append(value)
+    return {key: tuple(values) for key, values in merged.items()}
+
+
+_SETOP_CTORS = {
+    OpKind.UNION_ALL: UnionAll,
+    OpKind.UNION: Union,
+    OpKind.INTERSECT: Intersect,
+    OpKind.EXCEPT: Except,
+}
+
+
+class PatternInstantiator:
+    """Instantiates rule patterns into valid logical query trees."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        rng: random.Random,
+        stats: Optional[StatsRepository] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.rng = rng
+        self.builder = TreeBuilder(catalog, rng, stats)
+
+    # ------------------------------------------------------------------ public
+
+    def instantiate(
+        self, pattern: PatternNode, hints: Optional[Hints] = None
+    ) -> LogicalOp:
+        """One random tree matching ``pattern`` (raises
+        :class:`GenerationFailure` when arguments cannot be drawn)."""
+        return self._build(pattern, hints or {})
+
+    # ----------------------------------------------------------------- builder
+
+    def _build(self, pattern: PatternNode, hints: Hints) -> LogicalOp:
+        if pattern.is_generic:
+            return self._leaf()
+        children = [self._build(child, hints) for child in pattern.children]
+        return self._make(pattern, children, hints)
+
+    def _leaf(self) -> LogicalOp:
+        leaf = self.builder.random_get()
+        # Occasionally wrap the leaf: a filter for variety, or a non-key
+        # projection (which makes duplicate rows possible -- inputs that
+        # distinguish e.g. a correct DistinctRemoveOnKey from a buggy one).
+        roll = self.rng.random()
+        if roll < 0.15:
+            return self.builder.make_select(leaf)
+        if roll < 0.3:
+            return self.builder.make_project(leaf)
+        return leaf
+
+    def _make(
+        self, pattern: PatternNode, children: List[LogicalOp], hints: Hints
+    ) -> LogicalOp:
+        kind = pattern.kind
+        if kind is OpKind.GET:
+            return self.builder.random_get()
+        if kind is OpKind.SELECT:
+            (child,) = children
+            return self._make_select(child, hints)
+        if kind is OpKind.PROJECT:
+            (child,) = children
+            passthrough = "passthrough_all" in hints.get("project", ())
+            return self.builder.make_project(child, passthrough)
+        if kind is OpKind.JOIN:
+            left, right = children
+            return self._make_join(pattern, left, right, hints)
+        if kind is OpKind.GB_AGG:
+            (child,) = children
+            return self._make_gbagg(child, hints)
+        if kind in _SETOP_CTORS:
+            left, right = children
+            return self.builder.make_setop(_SETOP_CTORS[kind], left, right)
+        if kind is OpKind.DISTINCT:
+            (child,) = children
+            return self.builder.make_distinct(child)
+        raise GenerationFailure(f"cannot instantiate pattern node {kind}")
+
+    def _pick_hint(self, hints: Hints, key: str, applicable) -> Optional[str]:
+        """Pick one applicable candidate hint for ``key`` (random order)."""
+        candidates = [v for v in hints.get(key, ()) if applicable(v)]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def _make_select(self, child: LogicalOp, hints: Hints) -> LogicalOp:
+        def applicable(value: str) -> bool:
+            if value == "true":
+                return True
+            if value == "group_columns":
+                return isinstance(child, GbAgg)
+            if value in ("left_side", "cross_equality"):
+                return isinstance(child, Join)
+            if value == "right_side":
+                return (
+                    isinstance(child, Join)
+                    and child.join_kind.preserves_right_columns
+                )
+            return False
+
+        hint = self._pick_hint(hints, "select_predicate", applicable)
+        return self.builder.make_select(child, hint)
+
+    def _make_join(
+        self,
+        pattern: PatternNode,
+        left: LogicalOp,
+        right: LogicalOp,
+        hints: Hints,
+    ) -> LogicalOp:
+        kinds = pattern.join_kinds or (JoinKind.INNER,)
+        kind = self.rng.choice(list(kinds))
+        if kind is JoinKind.CROSS:
+            return self.builder.make_join(left, right, kind)
+
+        predicate = None
+        hint = self._pick_hint(hints, "join_predicate", lambda _v: True)
+        if hint == "fk_pk":
+            left_columns = None
+            if isinstance(left, GbAgg):
+                # Join on the aggregate's grouping columns so that rules
+                # such as GbAggPullAboveJoin can fire.
+                left_columns = left.group_by
+            predicate = self.builder.join_predicate(
+                left,
+                right,
+                left_columns=left_columns,
+                require_fk_pk=True,
+            )
+            if predicate is None:
+                # The random leaves happen not to be FK-related; re-draw the
+                # right side as a table the left side references.
+                right = self._fk_target_leaf(left) or right
+                predicate = self.builder.join_predicate(
+                    left, right, left_columns=left_columns, require_fk_pk=True
+                )
+            if predicate is None:
+                raise GenerationFailure("no FK->key join available")
+        elif hint == "preserved_side" and isinstance(right, Join):
+            # Restrict the right side of the predicate to the preserved
+            # (left) input of the outer join below, per JoinLojAssociativity.
+            preserved = self.builder.outputs(right.left)
+            predicate = self.builder.join_predicate(
+                left, right, right_columns=preserved
+            )
+        return self.builder.make_join(left, right, kind, predicate)
+
+    def _fk_target_leaf(self, left: LogicalOp):
+        """A fresh Get over a table that some left-side table references."""
+        from repro.testing.builders import column_origins
+
+        left_tables = {
+            origin[0] for origin in column_origins(left).values()
+        }
+        candidates = self.builder.fk_reference_targets(left_tables)
+        if not candidates:
+            return None
+        return self.builder.random_get(self.rng.choice(candidates))
+
+    def _make_gbagg(self, child: LogicalOp, hints: Hints) -> LogicalOp:
+        group_hint = self._pick_hint(
+            hints,
+            "group_by",
+            lambda value: value in ("include_key", "foreign_key"),
+        )
+        agg_hint = self._pick_hint(
+            hints, "agg_args", lambda value: value in ("count_star", "avg")
+        )
+        agg_source = None
+        if "left_only" in hints.get("agg_args", ()) and isinstance(
+            child, Join
+        ):
+            agg_source = self.builder.outputs(child.left)
+        return self.builder.make_gbagg(
+            child,
+            group_hint=group_hint,
+            agg_hint=agg_hint,
+            agg_source=agg_source,
+        )
+
+
+def add_random_operators(
+    tree: LogicalOp,
+    count: int,
+    catalog: Catalog,
+    rng: random.Random,
+    stats: Optional[StatsRepository] = None,
+) -> LogicalOp:
+    """Wrap ``tree`` in ``count`` extra random operators.
+
+    Implements the module extension described in Section 2.3: "generate a
+    logical query tree with [N] operators that exercises a given rule" --
+    useful for correctness testing, where more complex queries give rules
+    more chances to interact.
+    """
+    from repro.testing.random_gen import RandomQueryGenerator
+
+    generator = RandomQueryGenerator(catalog, seed=rng.randrange(2**31), stats=stats)
+    for _ in range(count):
+        try:
+            tree = generator.extend(tree)
+        except GenerationFailure:
+            continue
+    return tree

@@ -1,0 +1,121 @@
+"""RANDOM: the stochastic query generator (the paper's baseline).
+
+Mirrors the state of the art the paper compares against (RAGS [17] and the
+genetic generator [1]): build random-but-valid logical query trees over the
+test database, with no knowledge of any target rule.  A driver optimizes
+each generated query and checks ``RuleSet(q)`` until the target rule (or
+rule set) is exercised -- the trial-and-error loop whose inefficiency
+motivates pattern-based generation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.catalog.schema import Catalog
+from repro.catalog.stats import StatsRepository
+from repro.logical.operators import (
+    Except,
+    Intersect,
+    JoinKind,
+    LogicalOp,
+    Union,
+    UnionAll,
+)
+from repro.testing.builders import GenerationFailure, TreeBuilder
+
+#: Relative weights of the operators the random generator introduces.
+_DEFAULT_WEIGHTS = {
+    "select": 0.26,
+    "join": 0.30,
+    "project": 0.10,
+    "gbagg": 0.12,
+    "distinct": 0.07,
+    "setop": 0.15,
+}
+
+_JOIN_KIND_WEIGHTS = [
+    (JoinKind.INNER, 0.55),
+    (JoinKind.LEFT_OUTER, 0.15),
+    (JoinKind.CROSS, 0.12),
+    (JoinKind.SEMI, 0.10),
+    (JoinKind.ANTI, 0.08),
+]
+
+_SET_OPS = [
+    (UnionAll, 0.4),
+    (Union, 0.25),
+    (Intersect, 0.2),
+    (Except, 0.15),
+]
+
+
+def _weighted_choice(rng: random.Random, weighted):
+    total = sum(weight for _, weight in weighted)
+    roll = rng.random() * total
+    for value, weight in weighted:
+        roll -= weight
+        if roll <= 0:
+            return value
+    return weighted[-1][0]
+
+
+class RandomQueryGenerator:
+    """Seeded generator of random valid logical query trees."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        seed: int = 0,
+        stats: Optional[StatsRepository] = None,
+        min_operators: int = 3,
+        max_operators: int = 10,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.builder = TreeBuilder(catalog, self.rng, stats)
+        self.min_operators = min_operators
+        self.max_operators = max_operators
+
+    def random_tree(self, target_operators: Optional[int] = None) -> LogicalOp:
+        """One random query tree with roughly ``target_operators`` nodes."""
+        if target_operators is None:
+            target_operators = self.rng.randint(
+                self.min_operators, self.max_operators
+            )
+        tree = self.builder.random_get()
+        guard = 0
+        while tree.tree_size() < target_operators and guard < 50:
+            guard += 1
+            try:
+                tree = self.extend(tree)
+            except GenerationFailure:
+                continue
+        return tree
+
+    def extend(self, tree: LogicalOp) -> LogicalOp:
+        """Wrap ``tree`` in one more random operator."""
+        kind = _weighted_choice(self.rng, list(_DEFAULT_WEIGHTS.items()))
+        builder = self.builder
+        if kind == "select":
+            return builder.make_select(tree)
+        if kind == "project":
+            return builder.make_project(tree)
+        if kind == "gbagg":
+            return builder.make_gbagg(tree)
+        if kind == "distinct":
+            return builder.make_distinct(tree)
+        if kind == "join":
+            other = builder.random_get()
+            join_kind = _weighted_choice(self.rng, _JOIN_KIND_WEIGHTS)
+            if self.rng.random() < 0.5:
+                return builder.make_join(tree, other, join_kind)
+            if join_kind in (JoinKind.SEMI, JoinKind.ANTI):
+                # Semi/anti keep the left side; keep the tree there so the
+                # query stays "about" the accumulated subtree.
+                return builder.make_join(tree, other, join_kind)
+            return builder.make_join(other, tree, join_kind)
+        # set operation
+        other = builder.random_get()
+        ctor = _weighted_choice(self.rng, _SET_OPS)
+        return builder.make_setop(ctor, tree, other)

@@ -1,0 +1,146 @@
+"""Campaign reporting: one markdown artifact for a full testing run.
+
+`run_campaign` drives the complete framework over a database -- coverage
+generation for every rule, suite construction, all compression strategies,
+correctness execution -- and renders the outcome as a markdown report a
+test-engineering team can archive per optimizer build.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.rules.registry import RuleRegistry
+from repro.storage.database import Database
+from repro.testing.compression import (
+    CompressionPlan,
+    baseline_plan,
+    set_multicover_plan,
+    top_k_independent_plan,
+)
+from repro.testing.correctness import CorrectnessReport, CorrectnessRunner
+from repro.testing.coverage import CoverageCampaign, CoverageReport
+from repro.testing.generator import QueryGenerator
+from repro.testing.suite import CostOracle, TestSuite, TestSuiteBuilder, singleton_nodes
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    rule_names: List[str]
+    coverage: CoverageReport
+    suite: TestSuite
+    plans: Dict[str, CompressionPlan]
+    executed_method: str
+    correctness: CorrectnessReport
+    elapsed_seconds: float
+
+    @property
+    def passed(self) -> bool:
+        return self.correctness.passed and not self.coverage.uncovered
+
+    def to_markdown(self) -> str:
+        lines: List[str] = []
+        lines.append("# Transformation-rule testing campaign")
+        lines.append("")
+        lines.append(
+            f"- rules under test: **{len(self.rule_names)}** "
+            f"(k={self.suite.k} queries each)"
+        )
+        lines.append(f"- total wall-clock: {self.elapsed_seconds:.1f}s")
+        lines.append(
+            f"- verdict: {'**PASSED**' if self.passed else '**FAILED**'}"
+        )
+        lines.append("")
+
+        lines.append("## Coverage (pattern-based generation)")
+        lines.append("")
+        lines.append("| rule | trials | operators |")
+        lines.append("|---|---|---|")
+        for node, outcome in sorted(self.coverage.outcomes.items()):
+            status = outcome.trials if outcome.succeeded else "FAILED"
+            lines.append(
+                f"| {' + '.join(node)} | {status} | {outcome.operator_count} |"
+            )
+        lines.append("")
+
+        lines.append("## Test-suite compression")
+        lines.append("")
+        lines.append("| method | est. execution cost | distinct queries |")
+        lines.append("|---|---|---|")
+        for name, plan in self.plans.items():
+            lines.append(
+                f"| {name} | {plan.total_cost:.1f} | "
+                f"{len(plan.selected_query_ids)} |"
+            )
+        lines.append("")
+
+        lines.append(f"## Correctness execution ({self.executed_method})")
+        lines.append("")
+        report = self.correctness
+        lines.append(f"- queries executed: {report.queries_executed}")
+        lines.append(
+            f"- disabled-rule plans executed: {report.disabled_plans_executed}"
+        )
+        lines.append(
+            f"- identical plans skipped: {report.skipped_identical_plans}"
+        )
+        lines.append(f"- correctness bugs: {len(report.issues)}")
+        for issue in report.issues:
+            lines.append("")
+            lines.append(f"### BUG: {' + '.join(issue.rule_node)}")
+            lines.append(f"- mismatch: {issue.detail}")
+            lines.append("- failing SQL:")
+            lines.append("```sql")
+            lines.append(issue.sql)
+            lines.append("```")
+        for error in report.errors:
+            lines.append(f"- ERROR: {error}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    database: Database,
+    registry: RuleRegistry,
+    rule_names: Optional[Sequence[str]] = None,
+    k: int = 3,
+    seed: int = 0,
+    extra_operators: int = 2,
+) -> CampaignResult:
+    """Run the full pipeline and collect a :class:`CampaignResult`."""
+    start = time.perf_counter()
+    if rule_names is None:
+        rule_names = registry.exploration_rule_names
+    rule_names = list(rule_names)
+
+    generator = QueryGenerator(database, registry, seed=seed)
+    coverage = CoverageCampaign(generator).singletons(
+        rule_names, method="pattern"
+    )
+
+    builder = TestSuiteBuilder(
+        database, registry, seed=seed, extra_operators=extra_operators
+    )
+    suite = builder.build(singleton_nodes(rule_names), k=k)
+    oracle = CostOracle(database, registry)
+    plans = {
+        "BASELINE": baseline_plan(suite, oracle),
+        "SMC": set_multicover_plan(suite, oracle),
+        "TOPK": top_k_independent_plan(suite, oracle),
+    }
+    cheapest = min(plans.values(), key=lambda plan: plan.total_cost)
+    correctness = CorrectnessRunner(database, registry).run(cheapest, suite)
+
+    return CampaignResult(
+        rule_names=rule_names,
+        coverage=coverage,
+        suite=suite,
+        plans=plans,
+        executed_method=cheapest.method,
+        correctness=correctness,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,206 @@
+"""Test suites and the rule-query bipartite graph (paper, Section 4.1).
+
+A *test suite* for correctness testing holds, for each rule node (a single
+rule or a rule pair), ``k`` distinct queries that exercise it.  The
+relationship between rule nodes and queries forms a bipartite graph:
+
+* a **query node** costs ``Cost(q)`` -- executing the default plan once;
+* an **edge** (R, q) exists when optimizing ``q`` exercises every rule in
+  ``R``, and costs ``Cost(q, ¬R)`` -- executing the plan with R disabled.
+
+Edge costs require one optimizer invocation each; :class:`CostOracle` wraps
+and counts those invocations, which is the measurement behind the paper's
+monotonicity experiment (Figure 14).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.logical.operators import LogicalOp
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.engine import Optimizer
+from repro.optimizer.result import OptimizationError
+from repro.rules.registry import RuleRegistry
+from repro.storage.database import Database
+from repro.testing.generator import QueryGenerator
+
+#: A rule node: one rule name (singleton testing) or two (pair testing).
+RuleNode = Tuple[str, ...]
+
+
+@dataclass
+class SuiteQuery:
+    """One test query with its optimization metadata."""
+
+    query_id: int
+    tree: LogicalOp
+    sql: str
+    cost: float  # Cost(q), all rules enabled
+    ruleset: FrozenSet[str]  # RuleSet(q): exploration rules exercised
+    generated_for: RuleNode  # the rule node whose TS_i this query came from
+
+    def exercises(self, node: RuleNode) -> bool:
+        return all(name in self.ruleset for name in node)
+
+
+class CostOracle:
+    """Computes and caches ``Cost(q, ¬R)``, counting optimizer invocations."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: RuleRegistry,
+        config: Optional[OptimizerConfig] = None,
+    ) -> None:
+        self.database = database
+        self.registry = registry
+        self.config = config or OptimizerConfig()
+        self.stats = database.stats_repository()
+        self.invocations = 0
+        self._cache: Dict[Tuple[int, RuleNode], float] = {}
+
+    def cost_without(self, query: SuiteQuery, rules_off: RuleNode) -> float:
+        """``Cost(q, ¬R)`` -- one optimizer invocation per distinct request."""
+        key = (query.query_id, tuple(sorted(rules_off)))
+        if key in self._cache:
+            return self._cache[key]
+        self.invocations += 1
+        optimizer = Optimizer(
+            self.database.catalog,
+            self.stats,
+            self.registry,
+            self.config.with_disabled(rules_off),
+        )
+        try:
+            cost = optimizer.optimize(query.tree).cost
+        except OptimizationError:
+            cost = float("inf")
+        self._cache[key] = cost
+        return cost
+
+    def plan_without(self, query: SuiteQuery, rules_off: RuleNode):
+        """``Plan(q, ¬R)`` (used by the correctness runner)."""
+        optimizer = Optimizer(
+            self.database.catalog,
+            self.stats,
+            self.registry,
+            self.config.with_disabled(rules_off),
+        )
+        return optimizer.optimize(query.tree)
+
+
+@dataclass
+class TestSuite:
+    """The overall test suite TS = union of per-rule-node suites TS_i."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    rule_nodes: List[RuleNode]
+    queries: List[SuiteQuery]
+    k: int
+
+    def queries_for(self, node: RuleNode) -> List[SuiteQuery]:
+        """All suite queries whose RuleSet covers ``node`` (graph edges)."""
+        return [query for query in self.queries if query.exercises(node)]
+
+    def generated_suite(self, node: RuleNode) -> List[SuiteQuery]:
+        """TS_i: the queries generated specifically for ``node``."""
+        return [
+            query for query in self.queries if query.generated_for == node
+        ]
+
+    def query(self, query_id: int) -> SuiteQuery:
+        return self.queries[query_id]
+
+    @property
+    def size(self) -> int:
+        return len(self.queries)
+
+
+def singleton_nodes(rule_names: Sequence[str]) -> List[RuleNode]:
+    return [(name,) for name in rule_names]
+
+
+def pair_nodes(rule_names: Sequence[str]) -> List[RuleNode]:
+    """All nC2 rule pairs, as sorted tuples."""
+    return [
+        tuple(sorted(pair))
+        for pair in itertools.combinations(rule_names, 2)
+    ]
+
+
+class TestSuiteBuilder:
+    """The Test Suite Generation module (paper, Section 2.3).
+
+    For each rule node it generates ``k`` distinct queries exercising the
+    node, via the pattern-based query generator; ``extra_operators`` makes
+    the queries more complex (more rule interactions, more realistic costs),
+    as the paper does for correctness testing.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        database: Database,
+        registry: RuleRegistry,
+        seed: int = 0,
+        extra_operators: int = 4,
+        max_trials: int = 40,
+    ) -> None:
+        self.database = database
+        self.registry = registry
+        self.generator = QueryGenerator(database, registry, seed=seed)
+        self.extra_operators = extra_operators
+        self.max_trials = max_trials
+        self._exploration_names = frozenset(
+            rule.name for rule in registry.exploration_rules
+        )
+
+    def build(
+        self, rule_nodes: Sequence[RuleNode], k: int
+    ) -> TestSuite:
+        """Generate the overall suite: k distinct queries per rule node."""
+        queries: List[SuiteQuery] = []
+        seen_sql: Dict[str, SuiteQuery] = {}
+        for node in rule_nodes:
+            produced = 0
+            attempts = 0
+            while produced < k and attempts < self.max_trials:
+                attempts += 1
+                outcome = self._generate(node)
+                if outcome is None or outcome.sql in seen_sql:
+                    continue
+                result = outcome.optimize_result
+                query = SuiteQuery(
+                    query_id=len(queries),
+                    tree=outcome.tree,
+                    sql=outcome.sql,
+                    cost=result.cost,
+                    ruleset=result.rules_exercised & self._exploration_names,
+                    generated_for=node,
+                )
+                queries.append(query)
+                seen_sql[outcome.sql] = query
+                produced += 1
+            if produced < k:
+                raise RuntimeError(
+                    f"could not generate {k} distinct queries for {node} "
+                    f"within {self.max_trials} attempts"
+                )
+        return TestSuite(rule_nodes=list(rule_nodes), queries=queries, k=k)
+
+    def _generate(self, node: RuleNode):
+        extra = self.generator.rng.randint(0, self.extra_operators)
+        if len(node) == 1:
+            outcome = self.generator.pattern_query_for_rule(
+                node[0], max_trials=25, extra_operators=extra
+            )
+        else:
+            outcome = self.generator.pattern_query_for_pair(
+                node[0], node[1], max_trials=50
+            )
+        return outcome if outcome.succeeded else None

@@ -1,0 +1,16 @@
+"""Prebuilt test databases.
+
+The paper evaluates against TPC-H and notes its results hold on other
+schemas; both a TPC-H-shaped and a star-schema database are provided.
+"""
+
+from repro.workloads.star import star_catalog, star_database
+from repro.workloads.tpch import BASE_ROW_COUNTS, tpch_catalog, tpch_database
+
+__all__ = [
+    "BASE_ROW_COUNTS",
+    "star_catalog",
+    "star_database",
+    "tpch_catalog",
+    "tpch_database",
+]

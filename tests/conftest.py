@@ -1,0 +1,90 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import Catalog, ColumnDef, DataType, ForeignKey, TableDef
+from repro.optimizer.engine import Optimizer
+from repro.rules.registry import default_registry
+from repro.storage.database import Database
+from repro.workloads import tpch_database
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """The miniature TPC-H database (session-scoped: it is read-only)."""
+    return tpch_database(seed=1)
+
+
+@pytest.fixture(scope="session")
+def tpch_stats(tpch_db):
+    return tpch_db.stats_repository()
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture()
+def optimizer(tpch_db, tpch_stats, registry):
+    return Optimizer(tpch_db.catalog, tpch_stats, registry)
+
+
+def _col(name, data_type, nullable=True):
+    return ColumnDef(name, data_type, nullable)
+
+
+@pytest.fixture(scope="session")
+def tiny_catalog():
+    """A two-table schema small enough to reason about by hand."""
+    dept = TableDef(
+        name="dept",
+        columns=[
+            _col("dept_id", DataType.INT, nullable=False),
+            _col("dept_name", DataType.STRING, nullable=False),
+            _col("budget", DataType.FLOAT),
+        ],
+        primary_key=("dept_id",),
+    )
+    emp = TableDef(
+        name="emp",
+        columns=[
+            _col("emp_id", DataType.INT, nullable=False),
+            _col("emp_dept", DataType.INT),
+            _col("salary", DataType.FLOAT),
+            _col("emp_name", DataType.STRING),
+        ],
+        primary_key=("emp_id",),
+        foreign_keys=[ForeignKey(("emp_dept",), "dept", ("dept_id",))],
+    )
+    return Catalog([dept, emp])
+
+
+@pytest.fixture()
+def tiny_db(tiny_catalog):
+    """Hand-populated two-table database with NULLs, duplicates in non-key
+    columns, and an unmatched parent row (dept 40 has no employees)."""
+    database = Database(tiny_catalog)
+    database.insert(
+        "dept",
+        [
+            (10, "eng", 100.0),
+            (20, "sales", 50.0),
+            (30, "hr", None),
+            (40, "empty", 25.0),
+        ],
+    )
+    database.insert(
+        "emp",
+        [
+            (1, 10, 120.0, "ann"),
+            (2, 10, 80.0, "bob"),
+            (3, 20, 95.0, "cat"),
+            (4, None, 60.0, "dan"),  # employee without a department
+            (5, 30, None, "eve"),    # NULL salary
+            (6, 20, 95.0, "fay"),    # duplicate salary within dept 20
+        ],
+    )
+    return database

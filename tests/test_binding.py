@@ -1,0 +1,105 @@
+"""Unit tests for memo binding enumeration (the Cascades binding iterator)."""
+
+import pytest
+
+from repro.expr.expressions import TRUE
+from repro.logical.cardinality import CardinalityEstimator
+from repro.logical.operators import (
+    GroupRef,
+    Join,
+    JoinKind,
+    OpKind,
+    Select,
+    make_get,
+)
+from repro.logical.properties import PropertyDeriver
+from repro.optimizer.binding import bindings
+from repro.optimizer.memo import Memo
+from repro.rules.framework import ANY, P
+
+
+@pytest.fixture()
+def memo(tiny_db):
+    deriver = PropertyDeriver(tiny_db.catalog)
+    estimator = CardinalityEstimator(
+        tiny_db.catalog, tiny_db.stats_repository()
+    )
+    return Memo(deriver, estimator, max_groups=200, max_exprs_per_group=20)
+
+
+def _root_expr(memo, tree):
+    gid = memo.intern_tree(tree)
+    return memo.groups[gid].logical_exprs[0]
+
+
+class TestBindingEnumeration:
+    def test_single_node_pattern_binds_self(self, memo, tiny_db):
+        emp = make_get(tiny_db.catalog.table("emp"))
+        expr = _root_expr(memo, Select(emp, TRUE))
+        found = list(bindings(expr.op, P(OpKind.SELECT, ANY), memo))
+        assert len(found) == 1
+        assert isinstance(found[0].child, GroupRef)
+
+    def test_non_matching_kind_yields_nothing(self, memo, tiny_db):
+        emp = make_get(tiny_db.catalog.table("emp"))
+        expr = _root_expr(memo, Select(emp, TRUE))
+        assert list(bindings(expr.op, P(OpKind.JOIN, ANY, ANY), memo)) == []
+
+    def test_structured_pattern_expands_child_group(self, memo, tiny_db):
+        emp = make_get(tiny_db.catalog.table("emp"))
+        dept = make_get(tiny_db.catalog.table("dept"))
+        join = Join(JoinKind.INNER, emp, dept, TRUE)
+        expr = _root_expr(memo, Select(join, TRUE))
+        pattern = P(OpKind.SELECT, P(OpKind.JOIN, ANY, ANY))
+        found = list(bindings(expr.op, pattern, memo))
+        assert len(found) == 1
+        bound_join = found[0].child
+        assert isinstance(bound_join, Join)
+        assert isinstance(bound_join.left, GroupRef)
+
+    def test_multiple_equivalents_multiply_bindings(self, memo, tiny_db):
+        emp = make_get(tiny_db.catalog.table("emp"))
+        dept = make_get(tiny_db.catalog.table("dept"))
+        join = Join(JoinKind.INNER, emp, dept, TRUE)
+        select = Select(join, TRUE)
+        expr = _root_expr(memo, select)
+        # Add the commuted join to the join's group.
+        join_group = expr.op.child.group_id
+        memo.add_to_group(
+            join_group, Join(JoinKind.INNER, GroupRef(1), GroupRef(0), TRUE)
+        )
+        pattern = P(OpKind.SELECT, P(OpKind.JOIN, ANY, ANY))
+        found = list(bindings(expr.op, pattern, memo))
+        assert len(found) == 2
+
+    def test_join_kind_filter_in_binding(self, memo, tiny_db):
+        emp = make_get(tiny_db.catalog.table("emp"))
+        dept = make_get(tiny_db.catalog.table("dept"))
+        loj = Join(JoinKind.LEFT_OUTER, emp, dept, TRUE)
+        expr = _root_expr(memo, Select(loj, TRUE))
+        inner_only = P(
+            OpKind.SELECT, P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,))
+        )
+        loj_only = P(
+            OpKind.SELECT,
+            P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.LEFT_OUTER,)),
+        )
+        assert list(bindings(expr.op, inner_only, memo)) == []
+        assert len(list(bindings(expr.op, loj_only, memo))) == 1
+
+    def test_deep_pattern_binds_two_levels(self, memo, tiny_db):
+        emp = make_get(tiny_db.catalog.table("emp"))
+        tree = Select(Select(emp, TRUE), TRUE)
+        expr = _root_expr(memo, tree)
+        pattern = P(OpKind.SELECT, P(OpKind.SELECT, ANY))
+        found = list(bindings(expr.op, pattern, memo))
+        assert len(found) == 1
+        inner = found[0].child
+        assert isinstance(inner, Select)
+        assert isinstance(inner.child, GroupRef)
+
+    def test_arity_mismatch_rejected(self, memo, tiny_db):
+        emp = make_get(tiny_db.catalog.table("emp"))
+        expr = _root_expr(memo, emp)
+        # GET is a leaf; a unary pattern over GET cannot match.
+        assert list(bindings(expr.op, P(OpKind.GET, ANY), memo)) == []

@@ -1,0 +1,88 @@
+"""Tests for the optimizer's budget caps and graceful degradation.
+
+The paper notes production optimizers prune with "constraints or
+heuristics"; our analogue is explicit exploration budgets.  Hitting any cap
+must degrade search quality, never correctness or availability of a plan.
+"""
+
+import pytest
+
+from repro.engine import execute_plan, results_identical
+from repro.expr.expressions import ColumnRef, Comparison, ComparisonOp
+from repro.logical.operators import Join, JoinKind, Select, make_get
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.engine import Optimizer
+
+
+def _chain_join_query(database, tables):
+    """A left-deep chain of FK joins (search space grows with length)."""
+    gets = [make_get(database.catalog.table(name)) for name in tables]
+    fk_pairs = {
+        ("lineitem", "orders"): (0, 0),
+        ("orders", "customer"): (1, 0),
+        ("customer", "nation"): (3, 0),
+        ("nation", "region"): (2, 0),
+    }
+    tree = gets[0]
+    prev = gets[0]
+    for get in gets[1:]:
+        li, ri = fk_pairs[(prev.table, get.table)]
+        predicate = Comparison(
+            ComparisonOp.EQ,
+            ColumnRef(prev.columns[li]),
+            ColumnRef(get.columns[ri]),
+        )
+        tree = Join(JoinKind.INNER, tree, get, predicate)
+        prev = get
+    return tree
+
+
+TABLES = ["lineitem", "orders", "customer", "nation", "region"]
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("cap", [1, 5, 25, 200])
+    def test_any_rule_application_cap_still_plans(self, tpch_db, cap):
+        tree = _chain_join_query(tpch_db, TABLES)
+        config = OptimizerConfig(max_rule_applications=cap)
+        optimizer = Optimizer(
+            tpch_db.catalog, tpch_db.stats_repository(), config=config
+        )
+        result = optimizer.optimize(tree)
+        assert result.cost > 0
+
+    def test_bigger_budget_never_worse(self, tpch_db):
+        tree = _chain_join_query(tpch_db, TABLES)
+        stats = tpch_db.stats_repository()
+        costs = []
+        for cap in (1, 10, 100, 10_000):
+            config = OptimizerConfig(max_rule_applications=cap)
+            result = Optimizer(
+                tpch_db.catalog, stats, config=config
+            ).optimize(tree)
+            costs.append(result.cost)
+        for smaller, bigger in zip(costs[1:], costs[:-1]):
+            assert smaller <= bigger + 1e-9
+
+    def test_capped_plans_remain_correct(self, tpch_db):
+        """Budget exhaustion affects plan quality only: results identical."""
+        tree = _chain_join_query(tpch_db, TABLES[:3])
+        stats = tpch_db.stats_repository()
+        full = Optimizer(tpch_db.catalog, stats).optimize(tree)
+        capped = Optimizer(
+            tpch_db.catalog,
+            stats,
+            config=OptimizerConfig(max_rule_applications=2),
+        ).optimize(tree)
+        a = execute_plan(full.plan, tpch_db, full.output_columns)
+        b = execute_plan(capped.plan, tpch_db, capped.output_columns)
+        assert results_identical(a, b)
+
+    def test_expr_cap_reports_budget_exhausted(self, tpch_db):
+        tree = _chain_join_query(tpch_db, TABLES)
+        config = OptimizerConfig(max_exprs_per_group=2)
+        result = Optimizer(
+            tpch_db.catalog, tpch_db.stats_repository(), config=config
+        ).optimize(tree)
+        assert result.stats.budget_exhausted
+        assert result.cost > 0

@@ -1,0 +1,216 @@
+"""Unit tests for cardinality estimation."""
+
+import pytest
+
+from repro.catalog.schema import DataType
+from repro.expr.aggregates import AggregateCall, AggregateFunction
+from repro.expr.expressions import (
+    BoolConnective,
+    BoolExpr,
+    Column,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    IsNull,
+    Literal,
+    Not,
+    TRUE,
+    FALSE,
+)
+from repro.logical.cardinality import (
+    CardinalityEstimator,
+    RANGE_SELECTIVITY,
+    RelEstimate,
+)
+from repro.logical.operators import (
+    Distinct,
+    GbAgg,
+    Join,
+    JoinKind,
+    Limit,
+    Project,
+    Select,
+    UnionAll,
+    make_get,
+)
+
+
+@pytest.fixture()
+def estimator(tiny_db):
+    return CardinalityEstimator(tiny_db.catalog, tiny_db.stats_repository())
+
+
+@pytest.fixture()
+def dept(tiny_db):
+    return make_get(tiny_db.catalog.table("dept"))
+
+
+@pytest.fixture()
+def emp(tiny_db):
+    return make_get(tiny_db.catalog.table("emp"))
+
+
+class TestBaseEstimates:
+    def test_get_rows_from_stats(self, estimator, dept, emp):
+        assert estimator.estimate_tree(dept).rows == 4
+        assert estimator.estimate_tree(emp).rows == 6
+
+    def test_get_ndv_from_stats(self, estimator, emp):
+        estimate = estimator.estimate_tree(emp)
+        assert estimate.distinct(emp.columns[0].cid) == 6  # emp_id unique
+
+    def test_missing_stats_fall_back_to_default(self, tiny_catalog):
+        from repro.catalog.stats import StatsRepository
+
+        estimator = CardinalityEstimator(tiny_catalog, StatsRepository())
+        get = make_get(tiny_catalog.table("dept"))
+        assert estimator.estimate_tree(get).rows == 1000
+
+
+class TestSelectivity:
+    def test_true_and_false(self, estimator, emp):
+        estimate = estimator.estimate_tree(emp)
+        assert estimator.selectivity(TRUE, estimate) == 1.0
+        assert estimator.selectivity(FALSE, estimate) == 0.0
+
+    def test_equality_uses_ndv(self, estimator, emp):
+        estimate = estimator.estimate_tree(emp)
+        predicate = Comparison(
+            ComparisonOp.EQ, ColumnRef(emp.columns[0]), Literal(1, DataType.INT)
+        )
+        assert estimator.selectivity(predicate, estimate) == pytest.approx(1 / 6)
+
+    def test_range_uses_constant(self, estimator, emp):
+        estimate = estimator.estimate_tree(emp)
+        predicate = Comparison(
+            ComparisonOp.LT, ColumnRef(emp.columns[0]), Literal(3, DataType.INT)
+        )
+        assert estimator.selectivity(predicate, estimate) == RANGE_SELECTIVITY
+
+    def test_and_multiplies(self, estimator, emp):
+        estimate = estimator.estimate_tree(emp)
+        one = Comparison(
+            ComparisonOp.EQ, ColumnRef(emp.columns[0]), Literal(1, DataType.INT)
+        )
+        predicate = BoolExpr(BoolConnective.AND, (one, one))
+        assert estimator.selectivity(predicate, estimate) == pytest.approx(
+            (1 / 6) ** 2
+        )
+
+    def test_or_is_inclusion_exclusion(self, estimator, emp):
+        estimate = estimator.estimate_tree(emp)
+        one = Comparison(
+            ComparisonOp.EQ, ColumnRef(emp.columns[0]), Literal(1, DataType.INT)
+        )
+        predicate = BoolExpr(BoolConnective.OR, (one, one))
+        expected = 1 / 6 + 1 / 6 - (1 / 6) ** 2
+        assert estimator.selectivity(predicate, estimate) == pytest.approx(expected)
+
+    def test_not_complements(self, estimator, emp):
+        estimate = estimator.estimate_tree(emp)
+        one = Comparison(
+            ComparisonOp.EQ, ColumnRef(emp.columns[0]), Literal(1, DataType.INT)
+        )
+        assert estimator.selectivity(Not(one), estimate) == pytest.approx(5 / 6)
+
+    def test_is_null_fixed_fraction(self, estimator, emp):
+        estimate = estimator.estimate_tree(emp)
+        assert estimator.selectivity(
+            IsNull(ColumnRef(emp.columns[2])), estimate
+        ) == pytest.approx(0.1)
+
+
+class TestOperatorEstimates:
+    def test_select_scales_rows(self, estimator, emp):
+        predicate = Comparison(
+            ComparisonOp.EQ, ColumnRef(emp.columns[0]), Literal(1, DataType.INT)
+        )
+        select = Select(emp, predicate)
+        assert estimator.estimate_tree(select).rows == pytest.approx(1.0)
+
+    def test_cross_join_is_product(self, estimator, dept, emp):
+        cross = Join(JoinKind.CROSS, emp, dept)
+        assert estimator.estimate_tree(cross).rows == 24
+
+    def test_equijoin_uses_max_ndv(self, estimator, dept, emp):
+        predicate = Comparison(
+            ComparisonOp.EQ,
+            ColumnRef(emp.columns[1]),
+            ColumnRef(dept.columns[0]),
+        )
+        join = Join(JoinKind.INNER, emp, dept, predicate)
+        # 6 * 4 / max(ndv(emp_dept)=3, ndv(dept_id)=4) = 6
+        assert estimator.estimate_tree(join).rows == pytest.approx(6.0)
+
+    def test_left_outer_join_at_least_left_rows(self, estimator, dept, emp):
+        never = Comparison(
+            ComparisonOp.EQ,
+            ColumnRef(emp.columns[1]),
+            ColumnRef(dept.columns[0]),
+        )
+        join = Join(JoinKind.LEFT_OUTER, emp, dept, never)
+        assert estimator.estimate_tree(join).rows >= 6
+
+    def test_semi_join_caps_at_left(self, estimator, dept, emp):
+        join = Join(
+            JoinKind.SEMI,
+            emp,
+            dept,
+            Comparison(
+                ComparisonOp.EQ,
+                ColumnRef(emp.columns[1]),
+                ColumnRef(dept.columns[0]),
+            ),
+        )
+        assert estimator.estimate_tree(join).rows <= 6
+
+    def test_gbagg_rows_bounded_by_group_ndv(self, estimator, emp):
+        out = Column("n", DataType.INT)
+        agg = GbAgg(
+            emp,
+            (emp.columns[1],),
+            ((out, AggregateCall(AggregateFunction.COUNT_STAR)),),
+        )
+        assert estimator.estimate_tree(agg).rows == pytest.approx(3.0)
+
+    def test_scalar_aggregate_is_one_row(self, estimator, emp):
+        out = Column("n", DataType.INT)
+        agg = GbAgg(emp, (), ((out, AggregateCall(AggregateFunction.COUNT_STAR)),))
+        assert estimator.estimate_tree(agg).rows == 1.0
+
+    def test_union_all_sums(self, estimator, dept, emp):
+        out = Column("u", DataType.INT)
+        union = UnionAll(
+            dept, emp, (out,), (dept.columns[0],), (emp.columns[0],)
+        )
+        assert estimator.estimate_tree(union).rows == 10
+
+    def test_distinct_bounded_by_rows(self, estimator, emp):
+        project = Project(emp, ((emp.columns[1], ColumnRef(emp.columns[1])),))
+        distinct = Distinct(project)
+        estimate = estimator.estimate_tree(distinct)
+        assert estimate.rows <= 6
+        assert estimate.rows == pytest.approx(3.0)
+
+    def test_limit_caps(self, estimator, emp):
+        limit = Limit(emp, 2)
+        assert estimator.estimate_tree(limit).rows == 2.0
+
+    def test_ndv_capped_by_rows(self, estimator, emp):
+        predicate = Comparison(
+            ComparisonOp.EQ, ColumnRef(emp.columns[0]), Literal(1, DataType.INT)
+        )
+        select = Select(emp, predicate)
+        estimate = estimator.estimate_tree(select)
+        for cid in estimate.ndv:
+            assert estimate.ndv[cid] <= max(estimate.rows, 1.0)
+
+
+class TestRelEstimate:
+    def test_distinct_defaults_to_rows(self):
+        estimate = RelEstimate(rows=10.0)
+        assert estimate.distinct(99) == 10.0
+
+    def test_capped(self):
+        estimate = RelEstimate(rows=2.0, ndv={1: 100.0})
+        assert estimate.capped().ndv[1] == 2.0

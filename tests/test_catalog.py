@@ -1,0 +1,177 @@
+"""Unit tests for the catalog layer: schema objects and statistics."""
+
+import pytest
+
+from repro.catalog.schema import (
+    Catalog,
+    ColumnDef,
+    DataType,
+    ForeignKey,
+    SchemaError,
+    TableDef,
+)
+from repro.catalog.stats import ColumnStats, StatsRepository, TableStats
+
+
+def _table(name="t", pk=("a",), fks=()):
+    return TableDef(
+        name=name,
+        columns=[
+            ColumnDef("a", DataType.INT, nullable=False),
+            ColumnDef("b", DataType.STRING),
+            ColumnDef("c", DataType.FLOAT),
+        ],
+        primary_key=pk,
+        foreign_keys=list(fks),
+    )
+
+
+class TestTableDef:
+    def test_column_lookup(self):
+        table = _table()
+        assert table.column("b").data_type is DataType.STRING
+        assert table.has_column("c")
+        assert not table.has_column("missing")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError, match="no column"):
+            _table().column("zz")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate column"):
+            TableDef(
+                name="bad",
+                columns=[
+                    ColumnDef("a", DataType.INT),
+                    ColumnDef("a", DataType.INT),
+                ],
+            )
+
+    def test_key_must_reference_existing_columns(self):
+        with pytest.raises(SchemaError, match="key column"):
+            TableDef(
+                name="bad",
+                columns=[ColumnDef("a", DataType.INT)],
+                primary_key=("zz",),
+            )
+
+    def test_fk_must_reference_existing_local_columns(self):
+        with pytest.raises(SchemaError, match="foreign key column"):
+            TableDef(
+                name="bad",
+                columns=[ColumnDef("a", DataType.INT)],
+                foreign_keys=[ForeignKey(("zz",), "other", ("x",))],
+            )
+
+    def test_all_keys_orders_primary_first(self):
+        table = TableDef(
+            name="t",
+            columns=[
+                ColumnDef("a", DataType.INT, nullable=False),
+                ColumnDef("b", DataType.INT),
+            ],
+            primary_key=("a",),
+            unique_keys=[("b",)],
+        )
+        assert table.all_keys() == [("a",), ("b",)]
+
+    def test_ddl_rendering_mentions_constraints(self):
+        table = _table(fks=[ForeignKey(("a",), "other", ("x",))])
+        ddl = str(table)
+        assert "CREATE TABLE t" in ddl
+        assert "PRIMARY KEY (a)" in ddl
+        assert "FOREIGN KEY (a) REFERENCES other (x)" in ddl
+
+    def test_foreign_key_arity_mismatch(self):
+        with pytest.raises(ValueError, match="column count mismatch"):
+            ForeignKey(("a", "b"), "other", ("x",))
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        catalog = Catalog([_table()])
+        assert "t" in catalog
+        assert catalog.table("t").name == "t"
+        assert len(catalog) == 1
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog([_table()])
+        with pytest.raises(SchemaError, match="already defined"):
+            catalog.add_table(_table())
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SchemaError, match="no table"):
+            Catalog().table("nope")
+
+    def test_validate_rejects_unknown_ref_table(self):
+        bad = _table(fks=[ForeignKey(("a",), "ghost", ("x",))])
+        catalog = Catalog([bad])
+        with pytest.raises(SchemaError, match="unknown table"):
+            catalog.validate()
+
+    def test_validate_rejects_non_key_target(self):
+        target = TableDef(
+            name="target",
+            columns=[ColumnDef("x", DataType.INT)],
+        )
+        source = _table(fks=[ForeignKey(("a",), "target", ("x",))])
+        catalog = Catalog([target, source])
+        with pytest.raises(SchemaError, match="not a declared key"):
+            catalog.validate()
+
+    def test_ddl_covers_all_tables(self):
+        catalog = Catalog([_table("t1"), _table("t2")])
+        ddl = catalog.ddl()
+        assert "CREATE TABLE t1" in ddl and "CREATE TABLE t2" in ddl
+
+
+class TestColumnStats:
+    def test_from_values_counts_distinct_and_nulls(self):
+        stats = ColumnStats.from_values([1, 2, 2, None, 3, None])
+        assert stats.distinct_count == 3
+        assert stats.null_fraction == pytest.approx(2 / 6)
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+
+    def test_empty_values(self):
+        stats = ColumnStats.from_values([])
+        assert stats.distinct_count == 0
+        assert stats.null_fraction == 0.0
+        assert stats.min_value is None
+
+    def test_all_null_values(self):
+        stats = ColumnStats.from_values([None, None])
+        assert stats.null_fraction == 1.0
+        assert stats.distinct_count == 0
+
+
+class TestTableStats:
+    def test_from_rows(self):
+        stats = TableStats.from_rows(
+            ["a", "b"], [(1, "x"), (2, "x"), (2, None)]
+        )
+        assert stats.row_count == 3
+        assert stats.distinct("a") == 2
+        assert stats.column("b").null_fraction == pytest.approx(1 / 3)
+
+    def test_distinct_floor_is_one(self):
+        stats = TableStats.from_rows(["a"], [(None,), (None,)])
+        assert stats.distinct("a") == 1
+
+    def test_distinct_for_unknown_column_defaults_to_rows(self):
+        stats = TableStats.from_rows(["a"], [(1,), (2,)])
+        assert stats.distinct("zz") == 2
+
+
+class TestStatsRepository:
+    def test_set_get_has(self):
+        repo = StatsRepository()
+        stats = TableStats.from_rows(["a"], [(1,)])
+        repo.set("t", stats)
+        assert repo.has("t")
+        assert repo.get("t") is stats
+        assert list(repo.table_names()) == ["t"]
+
+    def test_missing_table_raises(self):
+        with pytest.raises(KeyError, match="no statistics"):
+            StatsRepository().get("ghost")

@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInformational:
+    def test_ddl(self, capsys):
+        assert main(["ddl"]) == 0
+        out = capsys.readouterr().out
+        assert "CREATE TABLE lineitem" in out
+        assert "rows" in out
+
+    def test_star_database_flag(self, capsys):
+        assert main(["--database", "star", "ddl"]) == 0
+        out = capsys.readouterr().out
+        assert "CREATE TABLE sales" in out
+
+    def test_rules_listing(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        assert "JoinCommutativity" in out
+        assert "GetToTableScan" in out
+
+    def test_rules_with_patterns(self, capsys):
+        assert main(["rules", "--patterns"]) == 0
+        out = capsys.readouterr().out
+        assert '<Operator kind="Join"' in out
+
+
+class TestGenerate:
+    def test_pattern_generation(self, capsys):
+        assert main(["generate", "--rule", "JoinCommutativity"]) == 0
+        out = capsys.readouterr().out
+        assert "trials:" in out
+        assert "sql: SELECT" in out
+
+    def test_pair_generation(self, capsys):
+        code = main(
+            ["generate", "--rule", "JoinCommutativity",
+             "--pair", "SelectMerge"]
+        )
+        assert code == 0
+        assert "JoinCommutativity + SelectMerge" in capsys.readouterr().out
+
+    def test_extra_operators(self, capsys):
+        assert main(
+            ["generate", "--rule", "SelectMerge", "--extra-operators", "4"]
+        ) == 0
+
+    def test_failure_exit_code(self, capsys):
+        code = main(
+            ["generate", "--rule", "GbAggPullAboveJoin",
+             "--method", "random", "--max-trials", "1"]
+        )
+        out = capsys.readouterr().out
+        if code == 1:
+            assert "FAILED" in out
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            main(["generate", "--rule", "NoSuchRule"])
+
+
+class TestOptimize:
+    SQL = (
+        "SELECT o_orderkey FROM orders INNER JOIN customer "
+        "ON o_custkey = c_custkey WHERE o_totalprice > 100.0"
+    )
+
+    def test_optimize_shows_plan_and_ruleset(self, capsys):
+        assert main(["optimize", "--sql", self.SQL]) == 0
+        out = capsys.readouterr().out
+        assert "cost:" in out
+        assert "RuleSet(q):" in out
+        assert "TableScan(orders)" in out
+
+    def test_optimize_with_disabled_rule(self, capsys):
+        assert main(
+            ["optimize", "--sql", self.SQL, "--disable", "JoinToHashJoin"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "HashJoin" not in out
+
+    def test_optimize_execute(self, capsys):
+        assert main(["optimize", "--sql", self.SQL, "--execute"]) == 0
+        out = capsys.readouterr().out
+        assert "actual rows=" in out
+        assert "o_orderkey" in out
+
+
+class TestCampaigns:
+    def test_correctness_passes(self, capsys):
+        assert main(["correctness", "--rules", "4", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+
+    def test_correctness_baseline_method(self, capsys):
+        assert main(
+            ["correctness", "--rules", "3", "--k", "2",
+             "--method", "baseline"]
+        ) == 0
+        assert "BASELINE" in capsys.readouterr().out
+
+    def test_coverage(self, capsys):
+        assert main(["coverage", "--rules", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "6/6 nodes covered" in out
+
+    def test_pair_coverage(self, capsys):
+        assert main(["coverage", "--rules", "4", "--pairs"]) == 0
+        assert "6/6 nodes covered" in capsys.readouterr().out
+
+    def test_campaign_to_stdout(self, capsys):
+        assert main(["campaign", "--rules", "3", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# Transformation-rule testing campaign" in out
+        assert "**PASSED**" in out
+
+    def test_campaign_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(
+            ["campaign", "--rules", "3", "--k", "2", "--output", str(target)]
+        ) == 0
+        assert "report written" in capsys.readouterr().out
+        assert "## Test-suite compression" in target.read_text()
+
+    def test_interaction(self, capsys):
+        code = main(
+            ["interaction", "--producer", "JoinLojAssociativity",
+             "--consumer", "JoinCommutativity"]
+        )
+        assert code == 0
+        assert "exercised on an expression" in capsys.readouterr().out

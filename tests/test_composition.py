@@ -1,0 +1,104 @@
+"""Tests for rule-pattern composition (Section 3.2)."""
+
+import pytest
+
+from repro.logical.operators import JoinKind, OpKind
+from repro.rules.framework import ANY, P, PatternNode
+from repro.rules.registry import default_registry
+from repro.testing.composition import (
+    _generic_positions,
+    compose_patterns,
+    substitution_compositions,
+)
+
+
+@pytest.fixture()
+def join_pattern():
+    return P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,))
+
+
+@pytest.fixture()
+def select_pattern():
+    return P(OpKind.SELECT, ANY)
+
+
+class TestGenericPositions:
+    def test_positions_of_join_pattern(self, join_pattern):
+        assert _generic_positions(join_pattern) == [(0,), (1,)]
+
+    def test_positions_of_nested_pattern(self):
+        pattern = P(OpKind.SELECT, P(OpKind.JOIN, ANY, ANY))
+        assert _generic_positions(pattern) == [(0, 0), (0, 1)]
+
+    def test_no_generics(self):
+        assert _generic_positions(P(OpKind.GET)) == []
+
+
+class TestSubstitution:
+    def test_substitutes_into_each_position(self, join_pattern, select_pattern):
+        composites = list(
+            substitution_compositions(join_pattern, select_pattern)
+        )
+        assert len(composites) == 2
+        left_sub, right_sub = composites
+        assert left_sub.children[0] == select_pattern
+        assert left_sub.children[1] == ANY
+        assert right_sub.children[1] == select_pattern
+
+    def test_substitution_preserves_join_kinds(self, join_pattern, select_pattern):
+        composites = list(
+            substitution_compositions(join_pattern, select_pattern)
+        )
+        assert all(
+            c.join_kinds == (JoinKind.INNER,) for c in composites
+        )
+
+
+class TestComposePatterns:
+    def test_contains_root_join_and_union(self, join_pattern, select_pattern):
+        composites = compose_patterns(join_pattern, select_pattern)
+        kinds = [c.kind for c in composites]
+        assert OpKind.UNION_ALL in kinds
+        roots = [
+            c for c in composites
+            if c.kind is OpKind.JOIN and select_pattern in c.children
+            and join_pattern in c.children
+        ]
+        assert roots, "root join composition missing"
+
+    def test_sorted_smallest_first(self, join_pattern, select_pattern):
+        composites = compose_patterns(join_pattern, select_pattern)
+        sizes = [c.size() for c in composites]
+        assert sizes == sorted(sizes)
+
+    def test_composites_unique(self, join_pattern):
+        composites = compose_patterns(join_pattern, join_pattern)
+        assert len(set(composites)) == len(composites)
+
+    def test_every_composite_contains_both_shapes(self):
+        registry = default_registry()
+        first = registry.rule("SelectPushBelowGbAgg").pattern
+        second = registry.rule("JoinCommutativity").pattern
+        for composite in compose_patterns(first, second):
+            ops = _all_kinds(composite)
+            assert OpKind.SELECT in ops
+            assert OpKind.JOIN in ops
+
+    def test_all_registry_pairs_produce_composites(self):
+        registry = default_registry()
+        rules = registry.exploration_rules[:8]
+        for i, first in enumerate(rules):
+            for second in rules[i + 1:]:
+                composites = compose_patterns(first.pattern, second.pattern)
+                assert composites, (first.name, second.name)
+
+
+def _all_kinds(pattern: PatternNode):
+    kinds = set()
+    stack = [pattern]
+    while stack:
+        node = stack.pop()
+        if node.kind is not None:
+            kinds.add(node.kind)
+        stack.extend(node.children)
+    return kinds

@@ -1,0 +1,164 @@
+"""Tests for the correctness runner and fault injection."""
+
+import pytest
+
+from repro.catalog.schema import DataType
+from repro.expr.expressions import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    IsNull,
+    Literal,
+)
+from repro.logical.operators import Distinct, Join, JoinKind, Project, Select, make_get
+from repro.rules.faults import (
+    ALL_FAULTS,
+    BuggyDistinctRemove,
+    BuggyLojToJoin,
+    BuggySelectPushBelowJoinRight,
+)
+from repro.rules.registry import default_registry
+from repro.sql.generate import to_sql
+from repro.testing.compression import top_k_independent_plan
+from repro.testing.correctness import CorrectnessRunner
+from repro.testing.suite import CostOracle, SuiteQuery, TestSuite, singleton_nodes
+
+
+def _suite_for(tree, rule_name, database, registry):
+    """Wrap a single hand-built tree into a one-rule test suite."""
+    from repro.optimizer.engine import Optimizer
+
+    optimizer = Optimizer(database.catalog, database.stats_repository(), registry)
+    result = optimizer.optimize(tree)
+    assert rule_name in result.rules_exercised
+    query = SuiteQuery(
+        query_id=0,
+        tree=tree,
+        sql=to_sql(tree),
+        cost=result.cost,
+        ruleset=result.rules_exercised,
+        generated_for=(rule_name,),
+    )
+    return TestSuite(rule_nodes=[(rule_name,)], queries=[query], k=1)
+
+
+class TestCleanLibraryPasses:
+    def test_clean_rules_produce_no_issues(self, tiny_db, registry):
+        emp = make_get(tiny_db.catalog.table("emp"))
+        dept = make_get(tiny_db.catalog.table("dept"))
+        loj = Join(
+            JoinKind.LEFT_OUTER, emp, dept,
+            Comparison(ComparisonOp.EQ, ColumnRef(emp.columns[1]),
+                       ColumnRef(dept.columns[0])),
+        )
+        tree = Select(loj, IsNull(ColumnRef(emp.columns[2])))
+        suite = _suite_for(tree, "LojPushSelectLeft", tiny_db, registry)
+        oracle = CostOracle(tiny_db, registry)
+        plan = top_k_independent_plan(suite, oracle)
+        report = CorrectnessRunner(tiny_db, registry).run(plan, suite)
+        assert report.passed
+        assert report.queries_executed == 1
+
+
+class TestFaultDetection:
+    def test_buggy_loj_rewrite_detected(self, tiny_db):
+        registry = default_registry().with_replaced_rule(BuggyLojToJoin())
+        emp = make_get(tiny_db.catalog.table("emp"))
+        dept = make_get(tiny_db.catalog.table("dept"))
+        loj = Join(
+            JoinKind.LEFT_OUTER, dept, emp,
+            Comparison(ComparisonOp.EQ, ColumnRef(dept.columns[0]),
+                       ColumnRef(emp.columns[1])),
+        )
+        # dept 40 has no employees; IS NULL keeps its NULL-extended row.
+        tree = Select(loj, IsNull(ColumnRef(emp.columns[2])))
+        suite = _suite_for(tree, "LojToJoinOnNullReject", tiny_db, registry)
+        oracle = CostOracle(tiny_db, registry)
+        plan = top_k_independent_plan(suite, oracle)
+        report = CorrectnessRunner(tiny_db, registry).run(plan, suite)
+        assert not report.passed
+        assert report.issues[0].rule_node == ("LojToJoinOnNullReject",)
+        assert "rows" in report.issues[0].detail
+
+    def test_buggy_right_push_below_loj_detected(self, tiny_db):
+        registry = default_registry().with_replaced_rule(
+            BuggySelectPushBelowJoinRight()
+        )
+        emp = make_get(tiny_db.catalog.table("emp"))
+        dept = make_get(tiny_db.catalog.table("dept"))
+        loj = Join(
+            JoinKind.LEFT_OUTER, dept, emp,
+            Comparison(ComparisonOp.EQ, ColumnRef(dept.columns[0]),
+                       ColumnRef(emp.columns[1])),
+        )
+        # IS NULL is NOT null-rejecting, so the legitimate LOJ->inner
+        # simplification stays out of the way and only the buggy push can
+        # rewrite this query.
+        tree = Select(loj, IsNull(ColumnRef(emp.columns[2])))
+        suite = _suite_for(
+            tree, "SelectPushBelowJoinRight", tiny_db, registry
+        )
+        oracle = CostOracle(tiny_db, registry)
+        plan = top_k_independent_plan(suite, oracle)
+        report = CorrectnessRunner(tiny_db, registry).run(plan, suite)
+        assert not report.passed
+
+    def test_buggy_distinct_removal_detected(self, tiny_db):
+        registry = default_registry().with_replaced_rule(BuggyDistinctRemove())
+        emp = make_get(tiny_db.catalog.table("emp"))
+        project = Project(emp, ((emp.columns[2], ColumnRef(emp.columns[2])),))
+        tree = Distinct(project)  # salaries contain duplicates (95.0 twice)
+        suite = _suite_for(tree, "DistinctRemoveOnKey", tiny_db, registry)
+        oracle = CostOracle(tiny_db, registry)
+        plan = top_k_independent_plan(suite, oracle)
+        report = CorrectnessRunner(tiny_db, registry).run(plan, suite)
+        assert not report.passed
+
+    @pytest.mark.parametrize("rule_name", sorted(ALL_FAULTS))
+    def test_campaign_catches_every_fault(self, tpch_db, rule_name):
+        """Generated (not hand-built) suites catch each injected fault."""
+        from repro.testing.suite import TestSuiteBuilder
+
+        fault_cls = ALL_FAULTS[rule_name]
+        caught = False
+        for seed in (11, 23, 37, 51):
+            registry = default_registry().with_replaced_rule(fault_cls())
+            builder = TestSuiteBuilder(
+                tpch_db, registry, seed=seed, extra_operators=2
+            )
+            suite = builder.build(singleton_nodes([rule_name]), k=10)
+            oracle = CostOracle(tpch_db, registry)
+            plan = top_k_independent_plan(suite, oracle)
+            report = CorrectnessRunner(tpch_db, registry).run(plan, suite)
+            if any(rule_name in issue.rule_node for issue in report.issues):
+                caught = True
+                break
+        assert caught, f"{fault_cls.__name__} was not detected"
+
+
+class TestRunnerAccounting:
+    def test_identical_plans_skipped(self, tiny_db, registry):
+        # A query whose plan does not change when the rule is disabled:
+        # execution must be skipped per the paper's footnote.
+        emp = make_get(tiny_db.catalog.table("emp"))
+        dept = make_get(tiny_db.catalog.table("dept"))
+        join = Join(
+            JoinKind.INNER, emp, dept,
+            Comparison(ComparisonOp.EQ, ColumnRef(emp.columns[1]),
+                       ColumnRef(dept.columns[0])),
+        )
+        suite = _suite_for(join, "JoinCommutativity", tiny_db, registry)
+        oracle = CostOracle(tiny_db, registry)
+        plan = top_k_independent_plan(suite, oracle)
+        report = CorrectnessRunner(tiny_db, registry).run(plan, suite)
+        assert report.passed
+        total = report.disabled_plans_executed + report.skipped_identical_plans
+        assert total == 1
+
+    def test_issue_rendering(self):
+        from repro.testing.correctness import CorrectnessIssue
+
+        issue = CorrectnessIssue(
+            rule_node=("a", "b"), query_id=3, sql="SELECT 1", detail="boom"
+        )
+        assert "[a + b] query 3: boom" == str(issue)

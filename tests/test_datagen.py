@@ -1,0 +1,130 @@
+"""Unit tests for the synthetic data generator and the TPC-H workload."""
+
+import pytest
+
+from repro.catalog.schema import Catalog, ColumnDef, DataType, ForeignKey, SchemaError, TableDef
+from repro.datagen.generator import DataGenerator, GenerationProfile
+from repro.storage.database import Database
+from repro.workloads import BASE_ROW_COUNTS, tpch_catalog, tpch_database
+
+
+class TestDataGenerator:
+    def test_deterministic_by_seed(self, tiny_catalog):
+        rows_a = DataGenerator(tiny_catalog, seed=5).generate_table(
+            tiny_catalog.table("dept"), 10
+        )
+        rows_b = DataGenerator(tiny_catalog, seed=5).generate_table(
+            tiny_catalog.table("dept"), 10
+        )
+        assert rows_a == rows_b
+
+    def test_different_seeds_differ(self, tiny_catalog):
+        rows_a = DataGenerator(tiny_catalog, seed=5).generate_table(
+            tiny_catalog.table("dept"), 10
+        )
+        rows_b = DataGenerator(tiny_catalog, seed=6).generate_table(
+            tiny_catalog.table("dept"), 10
+        )
+        assert rows_a != rows_b
+
+    def test_primary_keys_unique(self, tiny_catalog):
+        rows = DataGenerator(tiny_catalog, seed=0).generate_table(
+            tiny_catalog.table("dept"), 50
+        )
+        keys = [row[0] for row in rows]
+        assert len(set(keys)) == len(keys)
+
+    def test_not_null_respected(self, tiny_catalog):
+        rows = DataGenerator(tiny_catalog, seed=0).generate_table(
+            tiny_catalog.table("dept"), 50
+        )
+        assert all(row[0] is not None and row[1] is not None for row in rows)
+
+    def test_nullable_columns_receive_nulls(self, tiny_catalog):
+        profile = GenerationProfile(null_rate=0.5)
+        rows = DataGenerator(
+            tiny_catalog, seed=0, profile=profile
+        ).generate_table(tiny_catalog.table("dept"), 100)
+        nulls = sum(1 for row in rows if row[2] is None)
+        assert nulls > 10
+
+    def test_foreign_keys_reference_existing_rows(self, tiny_catalog):
+        generator = DataGenerator(tiny_catalog, seed=0)
+        database = Database(tiny_catalog)
+        generator.populate(database, {"dept": 10, "emp": 60})
+        dept_ids = {row[0] for row in database.table("dept").rows}
+        for row in database.table("emp").rows:
+            if row[1] is not None:
+                assert row[1] in dept_ids
+
+    def test_fk_coverage_leaves_unmatched_parents(self, tiny_catalog):
+        profile = GenerationProfile(fk_coverage=0.5, null_rate=0.0)
+        generator = DataGenerator(tiny_catalog, seed=0, profile=profile)
+        database = Database(tiny_catalog)
+        generator.populate(database, {"dept": 20, "emp": 200})
+        referenced = {row[1] for row in database.table("emp").rows}
+        dept_ids = {row[0] for row in database.table("dept").rows}
+        assert dept_ids - referenced, "some parents must be unmatched"
+
+    def test_cyclic_foreign_keys_detected(self):
+        a = TableDef(
+            name="a",
+            columns=[
+                ColumnDef("id", DataType.INT, nullable=False),
+                ColumnDef("b_ref", DataType.INT),
+            ],
+            primary_key=("id",),
+            foreign_keys=[ForeignKey(("b_ref",), "b", ("id",))],
+        )
+        b = TableDef(
+            name="b",
+            columns=[
+                ColumnDef("id", DataType.INT, nullable=False),
+                ColumnDef("a_ref", DataType.INT),
+            ],
+            primary_key=("id",),
+            foreign_keys=[ForeignKey(("a_ref",), "a", ("id",))],
+        )
+        catalog = Catalog([a, b])
+        generator = DataGenerator(catalog, seed=0)
+        with pytest.raises(SchemaError, match="cyclic"):
+            generator.populate(Database(catalog), {"a": 1, "b": 1})
+
+    def test_impossible_key_domain_raises(self):
+        table = TableDef(
+            name="narrow",
+            columns=[ColumnDef("flag", DataType.BOOL, nullable=False)],
+            primary_key=("flag",),
+        )
+        catalog = Catalog([table])
+        generator = DataGenerator(catalog, seed=0)
+        with pytest.raises(SchemaError, match="unique rows"):
+            generator.generate_table(table, 5)
+
+
+class TestTpchWorkload:
+    def test_catalog_has_eight_tables(self):
+        assert len(tpch_catalog()) == 8
+
+    def test_catalog_validates(self):
+        tpch_catalog().validate()
+
+    def test_database_row_counts_match_scale(self):
+        database = tpch_database(seed=0, scale=1.0)
+        for name, count in BASE_ROW_COUNTS.items():
+            assert database.row_count(name) == count
+
+    def test_scale_factor_applies(self):
+        database = tpch_database(seed=0, scale=0.5)
+        assert database.row_count("lineitem") == BASE_ROW_COUNTS["lineitem"] // 2
+
+    def test_deterministic(self):
+        a = tpch_database(seed=3)
+        b = tpch_database(seed=3)
+        assert a.table("orders").rows == b.table("orders").rows
+
+    def test_lineitem_fk_into_orders(self):
+        database = tpch_database(seed=0)
+        order_keys = {row[0] for row in database.table("orders").rows}
+        for row in database.table("lineitem").rows:
+            assert row[0] in order_keys

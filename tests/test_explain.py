@@ -1,0 +1,53 @@
+"""Tests for the plan-explanation utilities."""
+
+import pytest
+
+from repro.engine import execute_plan, explain, explain_analyze, plan_summary
+from repro.expr.expressions import ColumnRef, Comparison, ComparisonOp
+from repro.logical.operators import Join, JoinKind, make_get
+from repro.optimizer.engine import Optimizer
+
+
+@pytest.fixture()
+def plan_and_db(tiny_db):
+    emp = make_get(tiny_db.catalog.table("emp"))
+    dept = make_get(tiny_db.catalog.table("dept"))
+    join = Join(
+        JoinKind.LEFT_OUTER, emp, dept,
+        Comparison(ComparisonOp.EQ, ColumnRef(emp.columns[1]),
+                   ColumnRef(dept.columns[0])),
+    )
+    optimizer = Optimizer(tiny_db.catalog, tiny_db.stats_repository())
+    return optimizer.optimize(join).plan, tiny_db
+
+
+class TestExplain:
+    def test_explain_is_pretty_tree(self, plan_and_db):
+        plan, _ = plan_and_db
+        text = explain(plan)
+        assert "TableScan(emp)" in text
+        assert text == plan.pretty()
+
+    def test_explain_analyze_reports_actual_rows(self, plan_and_db):
+        plan, db = plan_and_db
+        text = explain_analyze(plan, db)
+        assert "(actual rows=6)" in text   # the outer join output
+        assert "(actual rows=4)" in text   # the dept scan
+
+    def test_explain_analyze_matches_execution(self, plan_and_db):
+        plan, db = plan_and_db
+        result = execute_plan(plan, db)
+        first_line = explain_analyze(plan, db).splitlines()[0]
+        assert f"actual rows={result.row_count}" in first_line
+
+    def test_plan_summary(self, plan_and_db):
+        plan, _ = plan_and_db
+        summary = plan_summary(plan)
+        assert "operators:" in summary
+        assert "TableScan" in summary
+
+    def test_indentation_reflects_depth(self, plan_and_db):
+        plan, db = plan_and_db
+        lines = explain_analyze(plan, db).splitlines()
+        assert not lines[0].startswith(" ")
+        assert lines[1].startswith("  ")

@@ -1,0 +1,286 @@
+"""Unit tests for scalar expressions and three-valued evaluation."""
+
+import pytest
+
+from repro.catalog.schema import DataType
+from repro.expr.eval import compile_expr, compile_predicate, evaluate, layout_of
+from repro.expr.expressions import (
+    FALSE,
+    TRUE,
+    Arithmetic,
+    ArithmeticOp,
+    BoolConnective,
+    BoolExpr,
+    Column,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    IsNull,
+    Literal,
+    Not,
+    conjunction,
+    conjuncts,
+    expression_type,
+    is_null_rejecting,
+    is_nullable,
+    referenced_columns,
+    substitute_columns,
+)
+
+
+@pytest.fixture()
+def cols():
+    a = Column("a", DataType.INT, nullable=True)
+    b = Column("b", DataType.INT, nullable=True)
+    s = Column("s", DataType.STRING, nullable=False)
+    return a, b, s
+
+
+def _eval(expr, row, columns):
+    return evaluate(expr, row, layout_of(columns))
+
+
+class TestColumnIdentity:
+    def test_columns_equal_by_id_only(self):
+        a = Column("x", DataType.INT)
+        b = Column("x", DataType.INT)
+        assert a != b
+        assert a == a
+        assert hash(a) != hash(b) or a.cid != b.cid
+
+    def test_qualified_name(self):
+        col = Column("x", DataType.INT, table="t")
+        assert col.qualified_name == "t.x"
+
+
+class TestEvaluation:
+    def test_column_and_literal(self, cols):
+        a, b, s = cols
+        assert _eval(ColumnRef(a), (7, 8, "x"), cols) == 7
+        assert _eval(Literal(5, DataType.INT), (7, 8, "x"), cols) == 5
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            (ComparisonOp.EQ, False),
+            (ComparisonOp.NE, True),
+            (ComparisonOp.LT, True),
+            (ComparisonOp.LE, True),
+            (ComparisonOp.GT, False),
+            (ComparisonOp.GE, False),
+        ],
+    )
+    def test_comparisons(self, cols, op, expected):
+        a, b, _ = cols
+        expr = Comparison(op, ColumnRef(a), ColumnRef(b))
+        assert _eval(expr, (1, 2, "x"), cols) is expected
+
+    def test_comparison_with_null_is_unknown(self, cols):
+        a, b, _ = cols
+        expr = Comparison(ComparisonOp.EQ, ColumnRef(a), ColumnRef(b))
+        assert _eval(expr, (None, 2, "x"), cols) is None
+        assert _eval(expr, (1, None, "x"), cols) is None
+        assert _eval(expr, (None, None, "x"), cols) is None
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (True, True, True),
+            (True, False, False),
+            (True, None, None),
+            (False, None, False),
+            (None, None, None),
+        ],
+    )
+    def test_kleene_and(self, left, right, expected):
+        expr = BoolExpr(
+            BoolConnective.AND,
+            (Literal(left, DataType.BOOL), Literal(right, DataType.BOOL)),
+        )
+        assert evaluate(expr, (), {}) is expected
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (False, False, False),
+            (True, False, True),
+            (True, None, True),
+            (False, None, None),
+            (None, None, None),
+        ],
+    )
+    def test_kleene_or(self, left, right, expected):
+        expr = BoolExpr(
+            BoolConnective.OR,
+            (Literal(left, DataType.BOOL), Literal(right, DataType.BOOL)),
+        )
+        assert evaluate(expr, (), {}) is expected
+
+    @pytest.mark.parametrize(
+        "value,expected", [(True, False), (False, True), (None, None)]
+    )
+    def test_not(self, value, expected):
+        expr = Not(Literal(value, DataType.BOOL))
+        assert evaluate(expr, (), {}) is expected
+
+    def test_is_null_is_two_valued(self, cols):
+        a, _, _ = cols
+        expr = IsNull(ColumnRef(a))
+        assert _eval(expr, (None, 0, "x"), cols) is True
+        assert _eval(expr, (1, 0, "x"), cols) is False
+
+    def test_arithmetic(self, cols):
+        a, b, _ = cols
+        add = Arithmetic(ArithmeticOp.ADD, ColumnRef(a), ColumnRef(b))
+        mul = Arithmetic(ArithmeticOp.MUL, ColumnRef(a), ColumnRef(b))
+        assert _eval(add, (2, 3, "x"), cols) == 5
+        assert _eval(mul, (2, 3, "x"), cols) == 6
+
+    def test_arithmetic_null_propagates(self, cols):
+        a, b, _ = cols
+        add = Arithmetic(ArithmeticOp.ADD, ColumnRef(a), ColumnRef(b))
+        assert _eval(add, (None, 3, "x"), cols) is None
+
+    def test_division_by_zero_yields_null(self, cols):
+        a, b, _ = cols
+        div = Arithmetic(ArithmeticOp.DIV, ColumnRef(a), ColumnRef(b))
+        assert _eval(div, (1, 0, "x"), cols) is None
+        assert _eval(div, (6, 3, "x"), cols) == 2.0
+
+
+class TestCompiledEvaluation:
+    def test_compile_matches_interpret(self, cols):
+        a, b, s = cols
+        layout = layout_of(cols)
+        expr = BoolExpr(
+            BoolConnective.OR,
+            (
+                Comparison(ComparisonOp.GT, ColumnRef(a), ColumnRef(b)),
+                IsNull(ColumnRef(a)),
+                Not(Comparison(ComparisonOp.EQ, ColumnRef(s),
+                               Literal("x", DataType.STRING))),
+            ),
+        )
+        compiled = compile_expr(expr, layout)
+        for row in [(1, 2, "x"), (3, 2, "x"), (None, 2, "y"), (1, None, "x")]:
+            assert compiled(row) is evaluate(expr, row, layout)
+
+    def test_compile_predicate_treats_unknown_as_false(self, cols):
+        a, b, _ = cols
+        layout = layout_of(cols)
+        predicate = compile_predicate(
+            Comparison(ComparisonOp.EQ, ColumnRef(a), ColumnRef(b)), layout
+        )
+        assert predicate((1, 1, "x")) is True
+        assert predicate((1, 2, "x")) is False
+        assert predicate((None, 2, "x")) is False
+
+
+class TestHelpers:
+    def test_conjunction_flattens_and_drops_true(self, cols):
+        a, b, _ = cols
+        c1 = Comparison(ComparisonOp.EQ, ColumnRef(a), Literal(1, DataType.INT))
+        c2 = Comparison(ComparisonOp.EQ, ColumnRef(b), Literal(2, DataType.INT))
+        nested = conjunction([c1, conjunction([c2, TRUE])])
+        assert conjuncts(nested) == (c1, c2)
+
+    def test_conjunction_empty_is_true(self):
+        assert conjunction([]) == TRUE
+
+    def test_conjunction_singleton_unwrapped(self, cols):
+        a, _, _ = cols
+        c1 = Comparison(ComparisonOp.EQ, ColumnRef(a), Literal(1, DataType.INT))
+        assert conjunction([c1]) is c1
+
+    def test_referenced_columns(self, cols):
+        a, b, _ = cols
+        expr = Comparison(ComparisonOp.LT, ColumnRef(a), ColumnRef(b))
+        assert referenced_columns(expr) == frozenset({a, b})
+
+    def test_substitute_columns_with_column(self, cols):
+        a, b, _ = cols
+        c = Column("c", DataType.INT)
+        expr = Comparison(ComparisonOp.LT, ColumnRef(a), ColumnRef(b))
+        swapped = substitute_columns(expr, {a: c})
+        assert referenced_columns(swapped) == frozenset({c, b})
+
+    def test_substitute_columns_with_expression(self, cols):
+        a, b, _ = cols
+        replacement = Arithmetic(
+            ArithmeticOp.ADD, ColumnRef(b), Literal(1, DataType.INT)
+        )
+        expr = IsNull(ColumnRef(a))
+        swapped = substitute_columns(expr, {a: replacement})
+        assert swapped == IsNull(replacement)
+
+    def test_expression_type_inference(self, cols):
+        a, b, s = cols
+        assert expression_type(ColumnRef(s)) is DataType.STRING
+        assert expression_type(
+            Comparison(ComparisonOp.EQ, ColumnRef(a), ColumnRef(b))
+        ) is DataType.BOOL
+        assert expression_type(
+            Arithmetic(ArithmeticOp.DIV, ColumnRef(a), ColumnRef(b))
+        ) is DataType.FLOAT
+        assert expression_type(
+            Arithmetic(ArithmeticOp.ADD, ColumnRef(a), ColumnRef(b))
+        ) is DataType.INT
+
+    def test_is_nullable(self, cols):
+        a, _, s = cols
+        assert is_nullable(ColumnRef(a))
+        assert not is_nullable(ColumnRef(s))
+        assert not is_nullable(IsNull(ColumnRef(a)))
+        assert not is_nullable(ColumnRef(a), non_null_columns=frozenset({a}))
+
+    def test_flipped_and_negated_operators(self):
+        assert ComparisonOp.LT.flipped() is ComparisonOp.GT
+        assert ComparisonOp.LE.negated() is ComparisonOp.GT
+        assert ComparisonOp.EQ.flipped() is ComparisonOp.EQ
+
+
+class TestNullRejection:
+    def test_comparison_on_column_rejects(self, cols):
+        a, _, _ = cols
+        expr = Comparison(ComparisonOp.GT, ColumnRef(a), Literal(0, DataType.INT))
+        assert is_null_rejecting(expr, frozenset({a}))
+
+    def test_is_null_does_not_reject(self, cols):
+        a, _, _ = cols
+        assert not is_null_rejecting(IsNull(ColumnRef(a)), frozenset({a}))
+
+    def test_not_is_null_rejects(self, cols):
+        a, _, _ = cols
+        assert is_null_rejecting(Not(IsNull(ColumnRef(a))), frozenset({a}))
+
+    def test_or_requires_all_branches(self, cols):
+        a, b, _ = cols
+        on_a = Comparison(ComparisonOp.GT, ColumnRef(a), Literal(0, DataType.INT))
+        on_b = Comparison(ComparisonOp.GT, ColumnRef(b), Literal(0, DataType.INT))
+        both = BoolExpr(BoolConnective.OR, (on_a, on_b))
+        assert not is_null_rejecting(both, frozenset({a}))
+        assert is_null_rejecting(both, frozenset({a, b}))
+
+    def test_and_requires_any_conjunct(self, cols):
+        a, b, _ = cols
+        on_a = Comparison(ComparisonOp.GT, ColumnRef(a), Literal(0, DataType.INT))
+        on_b = IsNull(ColumnRef(b))
+        both = BoolExpr(BoolConnective.AND, (on_a, on_b))
+        assert is_null_rejecting(both, frozenset({a}))
+
+    def test_unrelated_predicate_does_not_reject(self, cols):
+        a, b, _ = cols
+        on_b = Comparison(ComparisonOp.GT, ColumnRef(b), Literal(0, DataType.INT))
+        assert not is_null_rejecting(on_b, frozenset({a}))
+
+
+class TestValidationErrors:
+    def test_bool_expr_needs_two_args(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            BoolExpr(BoolConnective.AND, (TRUE,))
+
+    def test_literal_rendering(self):
+        assert str(Literal(None, DataType.INT)) == "NULL"
+        assert str(Literal("o'brien", DataType.STRING)) == "'o''brien'"
+        assert str(Literal(True, DataType.BOOL)) == "TRUE"
+        assert str(FALSE) == "FALSE"

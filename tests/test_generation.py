@@ -1,0 +1,226 @@
+"""Tests for query generation: RANDOM, PATTERN, pairs, and extensions."""
+
+import random
+
+import pytest
+
+from repro.logical.validate import validate_tree
+from repro.rules.framework import match_structure, tree_contains_pattern
+from repro.rules.registry import default_registry
+from repro.testing.builders import TreeBuilder, column_origins
+from repro.testing.generator import QueryGenerator
+from repro.testing.pattern_gen import (
+    PatternInstantiator,
+    add_random_operators,
+    merge_hints,
+)
+from repro.testing.random_gen import RandomQueryGenerator
+
+
+@pytest.fixture(scope="module")
+def generator(tpch_db):
+    return QueryGenerator(tpch_db, seed=77)
+
+
+class TestRandomGenerator:
+    def test_trees_are_valid(self, tpch_db):
+        generator = RandomQueryGenerator(tpch_db.catalog, seed=1)
+        for _ in range(40):
+            tree = generator.random_tree()
+            validate_tree(tree, tpch_db.catalog)
+
+    def test_target_size_roughly_respected(self, tpch_db):
+        generator = RandomQueryGenerator(tpch_db.catalog, seed=2)
+        sizes = [generator.random_tree(8).tree_size() for _ in range(20)]
+        assert sum(sizes) / len(sizes) >= 5
+
+    def test_deterministic_by_seed(self, tpch_db):
+        a = RandomQueryGenerator(tpch_db.catalog, seed=3).random_tree()
+        b = RandomQueryGenerator(tpch_db.catalog, seed=3).random_tree()
+        # Column ids differ but the SQL shape must match modulo ids.
+        assert a.tree_size() == b.tree_size()
+        assert [n.kind for n in a.walk()] == [n.kind for n in b.walk()]
+
+    def test_generated_trees_are_optimizable(self, tpch_db, tpch_stats):
+        from repro.optimizer.engine import Optimizer
+
+        generator = RandomQueryGenerator(tpch_db.catalog, seed=4)
+        optimizer = Optimizer(tpch_db.catalog, tpch_stats)
+        for _ in range(25):
+            result = optimizer.optimize(generator.random_tree())
+            assert result.cost > 0
+
+
+class TestPatternInstantiation:
+    def test_instantiation_contains_pattern(self, tpch_db, registry):
+        rng = random.Random(5)
+        instantiator = PatternInstantiator(tpch_db.catalog, rng)
+        for rule in registry.exploration_rules:
+            hints = merge_hints([rule])
+            # Instantiation may legitimately fail a few times (e.g. random
+            # leaves without a usable FK link); allow several retries.
+            for _ in range(15):
+                try:
+                    tree = instantiator.instantiate(rule.pattern, hints)
+                except Exception:
+                    continue
+                validate_tree(tree, tpch_db.catalog)
+                assert tree_contains_pattern(tree, rule.pattern), rule.name
+                break
+            else:
+                pytest.fail(f"could not instantiate pattern of {rule.name}")
+
+    def test_root_matches_pattern_root(self, tpch_db, registry):
+        rng = random.Random(6)
+        instantiator = PatternInstantiator(tpch_db.catalog, rng)
+        rule = registry.rule("SelectPushBelowGbAgg")
+        tree = instantiator.instantiate(rule.pattern, merge_hints([rule]))
+        assert match_structure(tree, rule.pattern)
+
+    def test_merge_hints_union(self, registry):
+        a = registry.rule("SelectPushBelowJoinLeft")
+        b = registry.rule("SelectPushBelowJoinRight")
+        merged = merge_hints([a, b])
+        assert set(merged["select_predicate"]) == {"left_side", "right_side"}
+
+    def test_add_random_operators_grows_tree(self, tpch_db, registry):
+        rng = random.Random(7)
+        instantiator = PatternInstantiator(tpch_db.catalog, rng)
+        rule = registry.rule("JoinCommutativity")
+        tree = instantiator.instantiate(rule.pattern)
+        bigger = add_random_operators(tree, 5, tpch_db.catalog, rng)
+        assert bigger.tree_size() > tree.tree_size()
+        validate_tree(bigger, tpch_db.catalog)
+
+
+class TestSingletonGeneration:
+    def test_pattern_covers_every_rule(self, generator, registry):
+        for rule in registry.exploration_rules:
+            outcome = generator.pattern_query_for_rule(rule.name, max_trials=25)
+            assert outcome.succeeded, rule.name
+            assert outcome.trials <= 25
+            assert rule.name in outcome.optimize_result.rules_exercised
+            assert outcome.sql is not None
+
+    def test_pattern_needs_far_fewer_trials_than_random(self, tpch_db, registry):
+        # Fresh generator: the shared fixture's RNG position depends on
+        # sibling tests, which would make this margin comparison flaky.
+        own = QueryGenerator(tpch_db, seed=2024)
+        names = registry.exploration_rule_names[:10]
+        pattern_total = sum(
+            own.pattern_query_for_rule(name).trials for name in names
+        )
+        random_total = sum(
+            own.random_query_for_rule(name, max_trials=400).trials
+            for name in names
+        )
+        assert pattern_total * 2 < random_total
+
+    def test_unknown_rule_rejected(self, generator):
+        with pytest.raises(KeyError):
+            generator.pattern_query_for_rule("NoSuchRule")
+        with pytest.raises(KeyError):
+            generator.random_query_for_rule("NoSuchRule")
+
+    def test_extra_operators_growth(self, generator):
+        outcome = generator.pattern_query_for_rule(
+            "JoinCommutativity", extra_operators=6
+        )
+        assert outcome.succeeded
+        assert outcome.operator_count >= 6
+
+    def test_failed_campaign_reports_honestly(self, tpch_db, registry):
+        # An absurdly low trial budget for RANDOM on a hard rule.
+        generator = QueryGenerator(tpch_db, seed=1)
+        outcome = generator.random_query_for_rule(
+            "GbAggPullAboveJoin", max_trials=1
+        )
+        if not outcome.succeeded:
+            assert outcome.tree is None
+            assert outcome.trials == 1
+
+
+class TestPairGeneration:
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            ("JoinCommutativity", "SelectPushBelowJoinLeft"),
+            ("GbAggPullAboveJoin", "JoinCommutativity"),
+            ("LojToJoinOnNullReject", "SelectMerge"),
+            ("IntersectToSemiJoin", "DistinctToGbAgg"),
+            ("JoinLojAssociativity", "JoinCommutativity"),
+        ],
+    )
+    def test_pattern_pairs(self, generator, pair):
+        outcome = generator.pattern_query_for_pair(*pair, max_trials=60)
+        assert outcome.succeeded, pair
+        exercised = outcome.optimize_result.rules_exercised
+        assert pair[0] in exercised and pair[1] in exercised
+
+    def test_random_pair_eventually_succeeds(self, generator):
+        outcome = generator.random_query_for_pair(
+            "JoinCommutativity", "SelectMerge", max_trials=800
+        )
+        assert outcome.succeeded
+
+
+class TestRelevanceVariant:
+    def test_relevant_query_changes_plan(self, tpch_db):
+        generator = QueryGenerator(tpch_db, seed=13)
+        outcome = generator.relevant_query_for_rule(
+            "SelectPushBelowJoinLeft", max_trials=60
+        )
+        assert outcome.succeeded
+        # Recheck the relevance property explicitly.
+        from repro.optimizer.config import OptimizerConfig
+        from repro.optimizer.engine import Optimizer
+
+        stats = tpch_db.stats_repository()
+        with_rule = Optimizer(tpch_db.catalog, stats).optimize(outcome.tree)
+        without = Optimizer(
+            tpch_db.catalog,
+            stats,
+            config=OptimizerConfig(
+                disabled_rules=frozenset(["SelectPushBelowJoinLeft"])
+            ),
+        ).optimize(outcome.tree)
+        assert with_rule.plan != without.plan
+
+
+class TestTreeBuilderInternals:
+    def test_column_origins_through_passthrough(self, tpch_db):
+        rng = random.Random(8)
+        builder = TreeBuilder(tpch_db.catalog, rng)
+        get = builder.random_get("orders")
+        origins = column_origins(get)
+        assert origins[get.columns[0].cid] == ("orders", "o_orderkey")
+
+    def test_fk_join_pairs_found(self, tpch_db):
+        rng = random.Random(9)
+        builder = TreeBuilder(tpch_db.catalog, rng)
+        orders = builder.random_get("orders")
+        customer = builder.random_get("customer")
+        pairs = builder.fk_join_pairs(orders, customer)
+        names = {(l.name, r.name) for l, r in pairs}
+        assert ("o_custkey", "c_custkey") in names
+
+    def test_require_fk_pk_orientation(self, tpch_db):
+        rng = random.Random(10)
+        builder = TreeBuilder(tpch_db.catalog, rng)
+        orders = builder.random_get("orders")
+        customer = builder.random_get("customer")
+        predicate = builder.join_predicate(
+            orders, customer, require_fk_pk=True
+        )
+        assert predicate is not None
+        # Right side must be the referenced key column.
+        assert predicate.right.column.name == "c_custkey"
+
+    def test_require_fk_pk_none_when_unavailable(self, tpch_db):
+        rng = random.Random(11)
+        builder = TreeBuilder(tpch_db.catalog, rng)
+        region = builder.random_get("region")
+        part = builder.random_get("part")
+        assert (
+            builder.join_predicate(region, part, require_fk_pk=True) is None
+        )

@@ -1,0 +1,281 @@
+"""Golden-query tests: the full stack against independent computations.
+
+Each test writes a realistic analytic query as SQL, runs it through the
+complete pipeline (parse -> bind -> optimize -> execute), and checks the
+result against an *independently coded* pure-Python computation over the
+raw stored rows.  Unlike the rule-equivalence properties (which compare the
+engine against itself), these tests would catch a systematic bug shared by
+every plan alternative.
+"""
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.engine import execute_plan
+from repro.optimizer.engine import Optimizer
+from repro.sql.binder import sql_to_tree
+
+
+def _run_sql(sql, database):
+    tree = sql_to_tree(sql, database.catalog)
+    optimizer = Optimizer(database.catalog, database.stats_repository())
+    result = optimizer.optimize(tree)
+    return execute_plan(result.plan, database, result.output_columns)
+
+
+@pytest.fixture(scope="module")
+def rows(tpch_db):
+    """Raw rows keyed by table, as plain dicts for readable golden code."""
+    out = {}
+    for table in tpch_db.tables():
+        names = table.definition.column_names
+        out[table.name] = [dict(zip(names, row)) for row in table.rows]
+    return out
+
+
+class TestFilterQueries:
+    def test_simple_range_filter(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT o_orderkey FROM orders WHERE o_totalprice > 500.0",
+            tpch_db,
+        )
+        expected = {
+            row["o_orderkey"]
+            for row in rows["orders"]
+            if row["o_totalprice"] is not None and row["o_totalprice"] > 500.0
+        }
+        assert {row[0] for row in result.rows} == expected
+
+    def test_null_predicate_drops_rows(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT o_orderkey FROM orders WHERE o_orderstatus = 'zzz' "
+            "OR o_totalprice > 0.0",
+            tpch_db,
+        )
+        expected = {
+            row["o_orderkey"]
+            for row in rows["orders"]
+            if (row["o_orderstatus"] == "zzz")
+            or (row["o_totalprice"] is not None and row["o_totalprice"] > 0.0)
+        }
+        assert {row[0] for row in result.rows} == expected
+
+    def test_is_null_filter(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT o_orderkey FROM orders WHERE o_orderstatus IS NULL",
+            tpch_db,
+        )
+        expected = {
+            row["o_orderkey"]
+            for row in rows["orders"]
+            if row["o_orderstatus"] is None
+        }
+        assert {row[0] for row in result.rows} == expected
+
+
+class TestJoinQueries:
+    def test_fk_join_row_multiplicity(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT o_orderkey, c_name FROM orders "
+            "INNER JOIN customer ON o_custkey = c_custkey",
+            tpch_db,
+        )
+        names = {row["c_custkey"]: row["c_name"] for row in rows["customer"]}
+        expected = Counter(
+            (row["o_orderkey"], names[row["o_custkey"]])
+            for row in rows["orders"]
+            if row["o_custkey"] in names
+        )
+        assert Counter(result.rows) == expected
+
+    def test_left_outer_join_preserves_customers(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT c_custkey, o_orderkey FROM customer "
+            "LEFT OUTER JOIN orders ON c_custkey = o_custkey",
+            tpch_db,
+        )
+        orders_by_cust = defaultdict(list)
+        for row in rows["orders"]:
+            orders_by_cust[row["o_custkey"]].append(row["o_orderkey"])
+        expected = Counter()
+        for row in rows["customer"]:
+            matches = orders_by_cust.get(row["c_custkey"])
+            if matches:
+                for okey in matches:
+                    expected[(row["c_custkey"], okey)] += 1
+            else:
+                expected[(row["c_custkey"], None)] += 1
+        assert Counter(result.rows) == expected
+
+    def test_exists_semi_join(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT c_custkey FROM customer AS c WHERE EXISTS "
+            "(SELECT 1 FROM orders AS o WHERE c_custkey = o_custkey)",
+            tpch_db,
+        )
+        with_orders = {row["o_custkey"] for row in rows["orders"]}
+        expected = {
+            row["c_custkey"]
+            for row in rows["customer"]
+            if row["c_custkey"] in with_orders
+        }
+        assert {row[0] for row in result.rows} == expected
+
+    def test_not_exists_anti_join(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT c_custkey FROM customer AS c WHERE NOT EXISTS "
+            "(SELECT 1 FROM orders AS o WHERE c_custkey = o_custkey)",
+            tpch_db,
+        )
+        with_orders = {row["o_custkey"] for row in rows["orders"]}
+        expected = {
+            row["c_custkey"]
+            for row in rows["customer"]
+            if row["c_custkey"] not in with_orders
+        }
+        assert {row[0] for row in result.rows} == expected
+        assert expected, "fk_coverage must leave customers without orders"
+
+
+class TestAggregateQueries:
+    def test_group_by_count_and_sum(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT o_custkey, COUNT(*) AS n, SUM(o_totalprice) AS total "
+            "FROM orders GROUP BY o_custkey",
+            tpch_db,
+        )
+        counts = defaultdict(int)
+        sums = defaultdict(lambda: None)
+        for row in rows["orders"]:
+            key = row["o_custkey"]
+            counts[key] += 1
+            price = row["o_totalprice"]
+            if price is not None:
+                sums[key] = price if sums[key] is None else sums[key] + price
+        got = {row[0]: (row[1], row[2]) for row in result.rows}
+        assert set(got) == set(counts)
+        for key in counts:
+            assert got[key][0] == counts[key]
+            if sums[key] is None:
+                assert got[key][1] is None
+            else:
+                assert got[key][1] == pytest.approx(sums[key])
+
+    def test_scalar_aggregates(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT COUNT(*) AS n, MIN(o_totalprice) AS lo, "
+            "MAX(o_totalprice) AS hi, AVG(o_totalprice) AS mean FROM orders",
+            tpch_db,
+        )
+        prices = [
+            row["o_totalprice"]
+            for row in rows["orders"]
+            if row["o_totalprice"] is not None
+        ]
+        n, lo, hi, mean = result.rows[0]
+        assert n == len(rows["orders"])
+        assert lo == pytest.approx(min(prices))
+        assert hi == pytest.approx(max(prices))
+        assert mean == pytest.approx(sum(prices) / len(prices))
+
+    def test_count_column_skips_nulls(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT COUNT(o_orderstatus) AS n FROM orders", tpch_db
+        )
+        expected = sum(
+            1 for row in rows["orders"] if row["o_orderstatus"] is not None
+        )
+        assert result.rows[0][0] == expected
+
+    def test_join_then_group(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT c_nationkey, SUM(o_totalprice) AS total FROM "
+            "(SELECT * FROM orders INNER JOIN customer "
+            " ON o_custkey = c_custkey) AS j "
+            "GROUP BY c_nationkey",
+            tpch_db,
+        )
+        nation = {
+            row["c_custkey"]: row["c_nationkey"] for row in rows["customer"]
+        }
+        sums = defaultdict(lambda: None)
+        for row in rows["orders"]:
+            key = nation.get(row["o_custkey"])
+            if row["o_custkey"] not in nation:
+                continue
+            price = row["o_totalprice"]
+            if price is not None:
+                sums[key] = price if sums[key] is None else sums[key] + price
+            else:
+                sums.setdefault(key, None)
+        got = {row[0]: row[1] for row in result.rows}
+        assert set(got) == set(sums)
+        for key, total in sums.items():
+            if total is None:
+                assert got[key] is None
+            else:
+                assert got[key] == pytest.approx(total)
+
+
+class TestSetOperationQueries:
+    def test_union_dedups(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT o_custkey AS k FROM orders UNION "
+            "SELECT c_custkey AS k FROM customer",
+            tpch_db,
+        )
+        expected = {row["o_custkey"] for row in rows["orders"]} | {
+            row["c_custkey"] for row in rows["customer"]
+        }
+        assert {row[0] for row in result.rows} == expected
+        assert result.row_count == len(expected)
+
+    def test_except_unreferenced_customers(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT c_custkey AS k FROM customer EXCEPT "
+            "SELECT o_custkey AS k FROM orders",
+            tpch_db,
+        )
+        expected = {row["c_custkey"] for row in rows["customer"]} - {
+            row["o_custkey"] for row in rows["orders"]
+        }
+        assert {row[0] for row in result.rows} == expected
+
+    def test_intersect(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT n_nationkey AS k FROM nation INTERSECT "
+            "SELECT c_nationkey AS k FROM customer",
+            tpch_db,
+        )
+        expected = {row["n_nationkey"] for row in rows["nation"]} & {
+            row["c_nationkey"] for row in rows["customer"]
+        }
+        assert {row[0] for row in result.rows} == expected
+
+
+class TestOrderingQueries:
+    def test_order_by_limit(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT o_orderkey, o_totalprice FROM orders "
+            "WHERE o_totalprice IS NOT NULL "
+            "ORDER BY o_totalprice DESC LIMIT 5",
+            tpch_db,
+        )
+        priced = [
+            (row["o_orderkey"], row["o_totalprice"])
+            for row in rows["orders"]
+            if row["o_totalprice"] is not None
+        ]
+        top_prices = sorted(
+            (price for _, price in priced), reverse=True
+        )[:5]
+        got_prices = [row[1] for row in result.rows]
+        assert got_prices == pytest.approx(top_prices)
+
+    def test_distinct_projection(self, tpch_db, rows):
+        result = _run_sql(
+            "SELECT DISTINCT o_orderstatus FROM orders", tpch_db
+        )
+        expected = {row["o_orderstatus"] for row in rows["orders"]}
+        assert {row[0] for row in result.rows} == expected

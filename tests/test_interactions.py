@@ -1,0 +1,111 @@
+"""Tests for derived rule-interaction tracking (Section 7).
+
+The paper's example: ``R JOIN (S LOJ T)`` — the Join/LOJ associativity rule
+produces ``(R JOIN S) LOJ T``, and only then can join commutativity fire on
+the new ``R JOIN S``.  Provenance tracking in the memo records exactly such
+(producer, consumer) pairs.
+"""
+
+import pytest
+
+from repro.expr.expressions import ColumnRef, Comparison, ComparisonOp
+from repro.logical.operators import Join, JoinKind, make_get
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.engine import Optimizer
+from repro.testing.generator import QueryGenerator
+
+
+def _eq(a, b):
+    return Comparison(ComparisonOp.EQ, ColumnRef(a), ColumnRef(b))
+
+
+@pytest.fixture()
+def paper_example_tree(tiny_db):
+    """R JOIN (S LOJ T) with the inner-join predicate between R and S."""
+    r = make_get(tiny_db.catalog.table("dept"), "r")
+    s = make_get(tiny_db.catalog.table("emp"), "s")
+    t = make_get(tiny_db.catalog.table("dept"), "t")
+    loj = Join(JoinKind.LEFT_OUTER, s, t, _eq(s.columns[1], t.columns[0]))
+    return Join(JoinKind.INNER, r, loj, _eq(r.columns[0], s.columns[1]))
+
+
+class TestProvenanceTracking:
+    def test_paper_example_records_interaction(self, tiny_db, paper_example_tree):
+        optimizer = Optimizer(tiny_db.catalog, tiny_db.stats_repository())
+        result = optimizer.optimize(paper_example_tree)
+        assert "JoinLojAssociativity" in result.rules_exercised
+        assert "JoinCommutativity" in result.rules_exercised
+        assert (
+            "JoinLojAssociativity",
+            "JoinCommutativity",
+        ) in result.rule_interactions
+
+    def test_interaction_vanishes_without_the_producer(
+        self, tiny_db, paper_example_tree
+    ):
+        """Commutativity still fires on the *top-level* inner join, but the
+        derived interaction (commuting the associativity rule's new join)
+        disappears once the producer rule is disabled -- the rule-dependency
+        phenomenon of Section 3."""
+        config = OptimizerConfig(
+            disabled_rules=frozenset(["JoinLojAssociativity"])
+        )
+        optimizer = Optimizer(
+            tiny_db.catalog, tiny_db.stats_repository(), config=config
+        )
+        result = optimizer.optimize(paper_example_tree)
+        assert not any(
+            producer == "JoinLojAssociativity"
+            for producer, _ in result.rule_interactions
+        )
+
+    def test_initial_tree_expressions_have_no_producer(self, tiny_db):
+        emp = make_get(tiny_db.catalog.table("emp"))
+        dept = make_get(tiny_db.catalog.table("dept"))
+        join = Join(
+            JoinKind.INNER, emp, dept, _eq(emp.columns[1], dept.columns[0])
+        )
+        optimizer = Optimizer(tiny_db.catalog, tiny_db.stats_repository())
+        result = optimizer.optimize(join)
+        # Commutativity fired on the *initial* expression: no interaction.
+        assert not any(
+            consumer == "JoinCommutativity" and producer != "JoinCommutativity"
+            for producer, consumer in result.rule_interactions
+        ) or ("JoinCommutativity" in result.rules_exercised)
+
+    def test_interactions_subset_of_exercised(self, tiny_db, paper_example_tree):
+        optimizer = Optimizer(tiny_db.catalog, tiny_db.stats_repository())
+        result = optimizer.optimize(paper_example_tree)
+        for producer, consumer in result.rule_interactions:
+            assert producer in result.rules_exercised
+            assert consumer in result.rules_exercised
+            assert producer != consumer
+
+
+class TestInteractionGeneration:
+    def test_paper_example_pair(self, tpch_db):
+        generator = QueryGenerator(tpch_db, seed=19)
+        outcome = generator.derived_interaction_query(
+            "JoinLojAssociativity", "JoinCommutativity"
+        )
+        assert outcome.succeeded
+        assert (
+            "JoinLojAssociativity",
+            "JoinCommutativity",
+        ) in outcome.optimize_result.rule_interactions
+
+    def test_select_into_join_enables_associativity(self, tpch_db):
+        generator = QueryGenerator(tpch_db, seed=20)
+        outcome = generator.derived_interaction_query(
+            "SelectIntoJoinPredicate", "JoinLeftAssociativity"
+        )
+        assert outcome.succeeded
+
+    def test_impossible_interaction_reports_failure(self, tpch_db):
+        # SelectTrueRemoval consumes Select(TRUE); DistinctToGbAgg never
+        # produces one, so the interaction cannot be generated.
+        generator = QueryGenerator(tpch_db, seed=21)
+        outcome = generator.derived_interaction_query(
+            "DistinctToGbAgg", "SelectTrueRemoval", max_trials=10
+        )
+        assert not outcome.succeeded

@@ -1,0 +1,150 @@
+"""Unit tests for physical operators' metadata and the cost model."""
+
+import pytest
+
+from repro.catalog.schema import DataType
+from repro.expr.expressions import TRUE, Column
+from repro.logical.operators import JoinKind, SortKey
+from repro.physical.cost import INFINITE_COST, local_cost, sort_cost
+from repro.physical.operators import (
+    ComputeScalar,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    MergeJoin,
+    NestedLoopsJoin,
+    Sort,
+    StreamAggregate,
+    TableScan,
+    Top,
+    ordering_of_keys,
+    ordering_satisfies,
+)
+
+
+def _col(name="x"):
+    return Column(name, DataType.INT)
+
+
+class TestOrdering:
+    def test_prefix_satisfaction(self):
+        provided = ((1, True), (2, True), (3, False))
+        assert ordering_satisfies(provided, ())
+        assert ordering_satisfies(provided, ((1, True),))
+        assert ordering_satisfies(provided, ((1, True), (2, True)))
+        assert not ordering_satisfies(provided, ((2, True),))
+        assert not ordering_satisfies(provided, ((1, False),))
+
+    def test_shorter_provided_fails(self):
+        assert not ordering_satisfies((), ((1, True),))
+
+    def test_ordering_of_keys(self):
+        col = _col()
+        keys = (SortKey(col, False),)
+        assert ordering_of_keys(keys) == ((col.cid, False),)
+
+
+class TestProvidedOrderings:
+    def test_filter_preserves(self):
+        child_order = ((1, True),)
+        plan = Filter(None, TRUE)
+        assert plan.provided_ordering((child_order,)) == child_order
+
+    def test_sort_provides_its_keys(self):
+        col = _col()
+        plan = Sort(None, (SortKey(col, True),))
+        assert plan.provided_ordering(((),)) == ((col.cid, True),)
+
+    def test_nested_loops_preserves_outer(self):
+        plan = NestedLoopsJoin(JoinKind.INNER, None, None, TRUE)
+        assert plan.provided_ordering((((5, True),), ())) == ((5, True),)
+
+    def test_hash_join_provides_nothing(self):
+        col = _col()
+        plan = HashJoin(JoinKind.INNER, None, None, (col,), (col,))
+        assert plan.provided_ordering((((5, True),), ())) == ()
+
+    def test_merge_join_requires_key_order(self):
+        left, right = _col("l"), _col("r")
+        plan = MergeJoin(None, None, (left,), (right,))
+        required = plan.required_child_orderings()
+        assert required == (((left.cid, True),), ((right.cid, True),))
+        assert plan.provided_ordering(required) == ((left.cid, True),)
+
+    def test_stream_aggregate_requires_canonical_group_order(self):
+        a, b = _col("a"), _col("b")
+        plan = StreamAggregate(None, (b, a), ())
+        (required,) = plan.required_child_orderings()
+        assert required == tuple(
+            (cid, True) for cid in sorted([a.cid, b.cid])
+        )
+
+    def test_compute_scalar_preserves_passthrough_prefix(self):
+        from repro.expr.expressions import ColumnRef
+
+        a, b = _col("a"), _col("b")
+        plan = ComputeScalar(None, ((a, ColumnRef(a)),))
+        assert plan.provided_ordering((((a.cid, True), (b.cid, True)),)) == (
+            (a.cid, True),
+        )
+        # Ordering on a column that is computed away does not survive.
+        assert plan.provided_ordering((((b.cid, True),),)) == ()
+
+
+class TestCostModel:
+    def test_scan_cost_scales_with_rows(self):
+        scan = TableScan("t", (), "t")
+        assert local_cost(scan, (), 100.0) < local_cost(scan, (), 1000.0)
+
+    def test_nested_loops_is_quadratic(self):
+        plan = NestedLoopsJoin(JoinKind.INNER, None, None, TRUE)
+        small = local_cost(plan, (10.0, 10.0), 10.0)
+        big = local_cost(plan, (100.0, 100.0), 100.0)
+        assert big > small * 50
+
+    def test_hash_join_cheaper_than_nested_loops_at_scale(self):
+        col = _col()
+        nl = NestedLoopsJoin(JoinKind.INNER, None, None, TRUE)
+        hj = HashJoin(JoinKind.INNER, None, None, (col,), (col,))
+        assert local_cost(hj, (1000.0, 1000.0), 1000.0) < local_cost(
+            nl, (1000.0, 1000.0), 1000.0
+        )
+
+    def test_stream_agg_cheaper_than_hash_agg(self):
+        stream = StreamAggregate(None, (), ())
+        hashed = HashAggregate(None, (), ())
+        assert local_cost(stream, (1000.0,), 10.0) < local_cost(
+            hashed, (1000.0,), 10.0
+        )
+
+    def test_sort_cost_superlinear(self):
+        plan = Sort(None, ())
+        assert local_cost(plan, (1000.0,), 1000.0) > 10 * local_cost(
+            plan, (10.0,), 10.0
+        )
+
+    def test_sort_cost_helper_matches_operator(self):
+        plan = Sort(None, ())
+        assert sort_cost(500.0) == pytest.approx(
+            local_cost(plan, (500.0,), 500.0)
+        )
+
+    def test_all_costs_positive(self):
+        col = _col()
+        operators = [
+            (TableScan("t", (), "t"), ()),
+            (Filter(None, TRUE), (10.0,)),
+            (ComputeScalar(None, ()), (10.0,)),
+            (NestedLoopsJoin(JoinKind.INNER, None, None, TRUE), (10.0, 10.0)),
+            (HashJoin(JoinKind.INNER, None, None, (col,), (col,)), (10.0, 10.0)),
+            (MergeJoin(None, None, (col,), (col,)), (10.0, 10.0)),
+            (HashAggregate(None, (), ()), (10.0,)),
+            (StreamAggregate(None, (), ()), (10.0,)),
+            (Sort(None, ()), (10.0,)),
+            (Top(None, 5), (10.0,)),
+        ]
+        for plan, child_rows in operators:
+            assert local_cost(plan, child_rows, 10.0) > 0
+
+    def test_infinite_cost_constant(self):
+        assert INFINITE_COST == float("inf")

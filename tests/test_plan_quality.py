@@ -1,0 +1,165 @@
+"""Plan-quality tests: the optimizer's choices, not just its correctness.
+
+The paper's compression results depend on the optimizer behaving like a
+real cost-based optimizer -- pushdowns paying off, rules being *relevant*
+(changing plans), disabled rules visibly hurting.  These tests pin that
+behaviour down.
+"""
+
+import pytest
+
+from repro.catalog.schema import DataType
+from repro.expr.expressions import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Literal,
+)
+from repro.logical.operators import Join, JoinKind, Select, make_get
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.engine import Optimizer
+from repro.physical.operators import PhysOpKind
+
+
+@pytest.fixture()
+def opt(tpch_db, tpch_stats, registry):
+    def make(disabled=()):
+        return Optimizer(
+            tpch_db.catalog,
+            tpch_stats,
+            registry,
+            OptimizerConfig(disabled_rules=frozenset(disabled)),
+        )
+
+    return make
+
+
+@pytest.fixture()
+def filtered_join(tpch_db):
+    """orders JOIN lineitem with a selective filter on orders."""
+    orders = make_get(tpch_db.catalog.table("orders"))
+    lineitem = make_get(tpch_db.catalog.table("lineitem"))
+    join = Join(
+        JoinKind.INNER,
+        lineitem,
+        orders,
+        Comparison(
+            ComparisonOp.EQ,
+            ColumnRef(lineitem.columns[0]),
+            ColumnRef(orders.columns[0]),
+        ),
+    )
+    selective = Comparison(
+        ComparisonOp.EQ,
+        ColumnRef(orders.columns[0]),
+        Literal(7, DataType.INT),
+    )
+    return Select(join, selective), orders, lineitem
+
+
+class TestPushdownPaysOff:
+    def test_pushdown_rule_is_relevant(self, opt, filtered_join):
+        tree, _, _ = filtered_join
+        full = opt().optimize(tree)
+        crippled = opt(
+            disabled=(
+                "SelectPushBelowJoinRight",
+                "SelectIntoJoinPredicate",
+                "JoinCommutativity",
+            )
+        ).optimize(tree)
+        assert crippled.cost > full.cost
+
+    def test_filter_sits_below_join_in_chosen_plan(self, opt, filtered_join):
+        tree, orders, _ = filtered_join
+        plan = opt().optimize(tree).plan
+        # The plan's top operator must be a join (filtering happened below
+        # or inside it), not a Filter over the whole join output.
+        assert plan.kind in (
+            PhysOpKind.HASH_JOIN,
+            PhysOpKind.MERGE_JOIN,
+            PhysOpKind.NESTED_LOOPS_JOIN,
+        )
+
+
+class TestJoinAlgorithmChoice:
+    def test_nested_loops_for_tiny_inputs(self, tpch_db, tpch_stats, registry):
+        region = make_get(tpch_db.catalog.table("region"))
+        nation = make_get(tpch_db.catalog.table("nation"))
+        join = Join(
+            JoinKind.INNER,
+            nation,
+            region,
+            Comparison(
+                ComparisonOp.EQ,
+                ColumnRef(nation.columns[2]),
+                ColumnRef(region.columns[0]),
+            ),
+        )
+        result = Optimizer(tpch_db.catalog, tpch_stats, registry).optimize(join)
+        # 25 x 5 rows: any algorithm is fine, but the cost must be tiny and
+        # the plan must not sort anything it does not need to.
+        assert result.cost < 5.0
+
+    def test_hash_beats_nested_loops_on_big_join(self, opt, tpch_db):
+        orders = make_get(tpch_db.catalog.table("orders"))
+        lineitem = make_get(tpch_db.catalog.table("lineitem"))
+        join = Join(
+            JoinKind.INNER,
+            lineitem,
+            orders,
+            Comparison(
+                ComparisonOp.EQ,
+                ColumnRef(lineitem.columns[0]),
+                ColumnRef(orders.columns[0]),
+            ),
+        )
+        with_hash = opt().optimize(join)
+        without_hash = opt(
+            disabled=("JoinToHashJoin", "JoinToMergeJoin")
+        ).optimize(join)
+        assert without_hash.cost > with_hash.cost * 2
+
+    def test_merge_join_competitive_when_inputs_presorted(
+        self, opt, tpch_db
+    ):
+        """When both inputs must be sorted anyway, merge join plans are
+        close to hash plans (the Sort enforcer does the heavy lifting)."""
+        orders = make_get(tpch_db.catalog.table("orders"))
+        customer = make_get(tpch_db.catalog.table("customer"))
+        join = Join(
+            JoinKind.INNER,
+            orders,
+            customer,
+            Comparison(
+                ComparisonOp.EQ,
+                ColumnRef(orders.columns[1]),
+                ColumnRef(customer.columns[0]),
+            ),
+        )
+        merge_only = opt(
+            disabled=("JoinToHashJoin", "JoinToNestedLoops")
+        ).optimize(join)
+        best = opt().optimize(join)
+        assert merge_only.cost < best.cost * 3
+
+
+class TestSearchEffort:
+    def test_memo_stats_populated(self, opt, filtered_join):
+        tree, _, _ = filtered_join
+        result = opt().optimize(tree)
+        stats = result.stats
+        assert stats.group_count >= 3
+        assert stats.expr_count >= stats.group_count
+        assert stats.rule_applications > 0
+        assert not stats.budget_exhausted
+
+    def test_disabling_rules_reduces_search_effort(
+        self, opt, filtered_join, registry
+    ):
+        tree, _, _ = filtered_join
+        full = opt().optimize(tree)
+        exploration = {r.name for r in registry.exploration_rules}
+        names = tuple(sorted(full.rules_exercised & exploration))
+        reduced = opt(disabled=names).optimize(tree)
+        assert reduced.stats.rule_applications <= full.stats.rule_applications

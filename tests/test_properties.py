@@ -1,0 +1,265 @@
+"""Unit tests for derived logical properties (schema, keys, non-null)."""
+
+import pytest
+
+from repro.catalog.schema import DataType
+from repro.expr.aggregates import AggregateCall, AggregateFunction
+from repro.expr.expressions import (
+    Column,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Literal,
+)
+from repro.logical.operators import (
+    Distinct,
+    GbAgg,
+    Join,
+    JoinKind,
+    Project,
+    Select,
+    Union,
+    UnionAll,
+    make_get,
+)
+from repro.logical.properties import (
+    PropertyDeriver,
+    equijoin_pairs,
+    is_pure_equijoin,
+)
+
+
+@pytest.fixture()
+def deriver(tiny_catalog):
+    return PropertyDeriver(tiny_catalog)
+
+
+@pytest.fixture()
+def dept(tiny_catalog):
+    return make_get(tiny_catalog.table("dept"))
+
+
+@pytest.fixture()
+def emp(tiny_catalog):
+    return make_get(tiny_catalog.table("emp"))
+
+
+def _ids(columns):
+    return frozenset(c.cid for c in columns)
+
+
+class TestGetProperties:
+    def test_primary_key_reported(self, deriver, dept):
+        props = deriver.derive_tree(dept)
+        assert frozenset({dept.columns[0].cid}) in props.keys
+
+    def test_non_null_from_schema(self, deriver, dept):
+        props = deriver.derive_tree(dept)
+        assert dept.columns[0] in props.non_null
+        assert dept.columns[2] not in props.non_null  # budget nullable
+
+    def test_columns_in_table_order(self, deriver, dept):
+        props = deriver.derive_tree(dept)
+        assert props.columns == dept.columns
+
+
+class TestSelectProperties:
+    def test_keys_preserved(self, deriver, dept):
+        select = Select(
+            dept,
+            Comparison(
+                ComparisonOp.GT,
+                ColumnRef(dept.columns[2]),
+                Literal(0.0, DataType.FLOAT),
+            ),
+        )
+        props = deriver.derive_tree(select)
+        assert frozenset({dept.columns[0].cid}) in props.keys
+
+    def test_constant_equality_on_key_gives_single_row(self, deriver, dept):
+        select = Select(
+            dept,
+            Comparison(
+                ComparisonOp.EQ,
+                ColumnRef(dept.columns[0]),
+                Literal(1, DataType.INT),
+            ),
+        )
+        props = deriver.derive_tree(select)
+        assert props.at_most_one_row
+
+    def test_comparison_makes_column_non_null(self, deriver, dept):
+        select = Select(
+            dept,
+            Comparison(
+                ComparisonOp.GT,
+                ColumnRef(dept.columns[2]),
+                Literal(0.0, DataType.FLOAT),
+            ),
+        )
+        props = deriver.derive_tree(select)
+        assert dept.columns[2] in props.non_null
+
+
+class TestProjectProperties:
+    def test_keys_survive_when_columns_pass_through(self, deriver, dept):
+        project = Project(
+            dept,
+            (
+                (dept.columns[0], ColumnRef(dept.columns[0])),
+                (dept.columns[1], ColumnRef(dept.columns[1])),
+            ),
+        )
+        props = deriver.derive_tree(project)
+        assert frozenset({dept.columns[0].cid}) in props.keys
+
+    def test_keys_dropped_when_key_column_projected_away(self, deriver, dept):
+        project = Project(
+            dept, ((dept.columns[1], ColumnRef(dept.columns[1])),)
+        )
+        props = deriver.derive_tree(project)
+        assert not props.keys
+
+
+class TestJoinProperties:
+    def _fk_join(self, dept, emp, kind=JoinKind.INNER):
+        predicate = Comparison(
+            ComparisonOp.EQ,
+            ColumnRef(emp.columns[1]),  # emp_dept
+            ColumnRef(dept.columns[0]),  # dept_id (PK)
+        )
+        return Join(kind, emp, dept, predicate)
+
+    def test_inner_join_output_columns(self, deriver, dept, emp):
+        join = self._fk_join(dept, emp)
+        props = deriver.derive_tree(join)
+        assert props.columns == emp.columns + dept.columns
+
+    def test_n_to_one_join_preserves_left_key(self, deriver, dept, emp):
+        join = self._fk_join(dept, emp)
+        props = deriver.derive_tree(join)
+        assert frozenset({emp.columns[0].cid}) in props.keys
+
+    def test_combined_keys_always_reported(self, deriver, dept, emp):
+        cross = Join(JoinKind.CROSS, emp, dept)
+        props = deriver.derive_tree(cross)
+        combined = frozenset({emp.columns[0].cid, dept.columns[0].cid})
+        assert any(key <= combined for key in props.keys)
+
+    def test_left_outer_join_drops_right_non_null(self, deriver, dept, emp):
+        join = self._fk_join(dept, emp, JoinKind.LEFT_OUTER)
+        props = deriver.derive_tree(join)
+        assert dept.columns[0] not in props.non_null
+        assert emp.columns[0] in props.non_null
+
+    def test_semi_join_keeps_left_schema_and_keys(self, deriver, dept, emp):
+        join = self._fk_join(dept, emp, JoinKind.SEMI)
+        props = deriver.derive_tree(join)
+        assert props.columns == emp.columns
+        assert frozenset({emp.columns[0].cid}) in props.keys
+
+
+class TestGbAggProperties:
+    def test_group_columns_form_key(self, deriver, emp):
+        out = Column("n", DataType.INT)
+        agg = GbAgg(
+            emp,
+            (emp.columns[1],),
+            ((out, AggregateCall(AggregateFunction.COUNT_STAR)),),
+        )
+        props = deriver.derive_tree(agg)
+        assert frozenset({emp.columns[1].cid}) in props.keys
+
+    def test_scalar_aggregate_has_at_most_one_row(self, deriver, emp):
+        out = Column("n", DataType.INT)
+        agg = GbAgg(
+            emp, (), ((out, AggregateCall(AggregateFunction.COUNT_STAR)),)
+        )
+        props = deriver.derive_tree(agg)
+        assert props.at_most_one_row
+
+    def test_count_output_is_non_null(self, deriver, emp):
+        out = Column("n", DataType.INT)
+        agg = GbAgg(
+            emp, (), ((out, AggregateCall(AggregateFunction.COUNT_STAR)),)
+        )
+        props = deriver.derive_tree(agg)
+        assert out in props.non_null
+
+
+class TestDistinctAndSetOps:
+    def test_distinct_all_columns_key(self, deriver, dept):
+        project = Project(
+            dept, ((dept.columns[1], ColumnRef(dept.columns[1])),)
+        )
+        props = deriver.derive_tree(Distinct(project))
+        assert frozenset({dept.columns[1].cid}) in props.keys
+
+    def _union(self, ctor, dept, emp):
+        out = Column("u", DataType.INT)
+        return ctor(
+            dept, emp, (out,), (dept.columns[0],), (emp.columns[0],)
+        )
+
+    def test_union_all_has_no_keys(self, deriver, dept, emp):
+        props = deriver.derive_tree(self._union(UnionAll, dept, emp))
+        assert not props.keys
+
+    def test_union_distinct_has_full_key(self, deriver, dept, emp):
+        union = self._union(Union, dept, emp)
+        props = deriver.derive_tree(union)
+        assert frozenset(c.cid for c in union.output_columns) in props.keys
+
+    def test_union_non_null_requires_both_sides(self, deriver, dept, emp):
+        union = self._union(UnionAll, dept, emp)
+        props = deriver.derive_tree(union)
+        # dept_id and emp_id both NOT NULL -> the output is non-null.
+        assert union.output_columns[0] in props.non_null
+
+
+class TestEquijoinHelpers:
+    def test_equijoin_pairs_extracted(self, dept, emp):
+        predicate = Comparison(
+            ComparisonOp.EQ,
+            ColumnRef(emp.columns[1]),
+            ColumnRef(dept.columns[0]),
+        )
+        assert equijoin_pairs(predicate) == (
+            (emp.columns[1], dept.columns[0]),
+        )
+
+    def test_non_equality_ignored(self, dept, emp):
+        predicate = Comparison(
+            ComparisonOp.LT,
+            ColumnRef(emp.columns[1]),
+            ColumnRef(dept.columns[0]),
+        )
+        assert equijoin_pairs(predicate) == ()
+
+    def test_is_pure_equijoin(self, dept, emp):
+        across = Comparison(
+            ComparisonOp.EQ,
+            ColumnRef(emp.columns[1]),
+            ColumnRef(dept.columns[0]),
+        )
+        left_ids = _ids(emp.columns)
+        right_ids = _ids(dept.columns)
+        assert is_pure_equijoin(across, left_ids, right_ids)
+
+    def test_same_side_equality_is_not_pure(self, dept, emp):
+        same_side = Comparison(
+            ComparisonOp.EQ,
+            ColumnRef(emp.columns[0]),
+            ColumnRef(emp.columns[1]),
+        )
+        assert not is_pure_equijoin(
+            same_side, _ids(emp.columns), _ids(dept.columns)
+        )
+
+    def test_constant_comparison_is_not_pure(self, dept, emp):
+        against_const = Comparison(
+            ComparisonOp.EQ, ColumnRef(emp.columns[1]), Literal(1, DataType.INT)
+        )
+        assert not is_pure_equijoin(
+            against_const, _ids(emp.columns), _ids(dept.columns)
+        )

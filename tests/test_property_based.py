@@ -1,0 +1,318 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The headline invariant is the paper's correctness criterion itself: for any
+generated query, disabling any subset of transformation rules must not
+change the executed results.  Further properties cover expression
+evaluation (compiled == interpreted), SQL round-trips, and the factor-2
+guarantee of TopKIndependent against a brute-force optimum on small graphs.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.schema import DataType
+from repro.engine import execute_plan, results_identical
+from repro.expr.eval import compile_expr, evaluate, layout_of
+from repro.expr.expressions import (
+    Arithmetic,
+    ArithmeticOp,
+    BoolConnective,
+    BoolExpr,
+    Column,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    IsNull,
+    Literal,
+    Not,
+)
+from repro.expr.simplify import fold_constants
+from repro.logical.validate import validate_tree
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.engine import Optimizer
+from repro.rules.registry import default_registry
+from repro.sql.binder import sql_to_tree
+from repro.sql.generate import to_sql
+from repro.testing.compression import (
+    set_multicover_plan,
+    top_k_independent_plan,
+)
+from repro.testing.random_gen import RandomQueryGenerator
+from repro.testing.suite import SuiteQuery, TestSuite
+from repro.workloads import tpch_database
+
+REGISTRY = default_registry()
+DB = tpch_database(seed=1)
+STATS = DB.stats_repository()
+EXPLORATION_NAMES = [r.name for r in REGISTRY.exploration_rules]
+
+_COLUMNS = (
+    Column("a", DataType.INT),
+    Column("b", DataType.INT),
+    Column("c", DataType.FLOAT),
+)
+
+
+# ------------------------------------------------------ expression strategies
+
+_int_values = st.one_of(st.none(), st.integers(-50, 50))
+_float_values = st.one_of(
+    st.none(), st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+)
+_rows = st.tuples(_int_values, _int_values, _float_values)
+
+
+def _scalar_exprs(depth):
+    leaves = st.one_of(
+        st.sampled_from([ColumnRef(c) for c in _COLUMNS[:2]]),
+        st.builds(Literal, st.integers(-20, 20), st.just(DataType.INT)),
+        st.just(Literal(None, DataType.INT)),
+    )
+    if depth == 0:
+        return leaves
+    sub = _scalar_exprs(depth - 1)
+    return st.one_of(
+        leaves,
+        st.builds(
+            Arithmetic,
+            st.sampled_from(list(ArithmeticOp)),
+            sub,
+            sub,
+        ),
+    )
+
+
+def _bool_exprs(depth):
+    comparisons = st.builds(
+        Comparison,
+        st.sampled_from(list(ComparisonOp)),
+        _scalar_exprs(1),
+        _scalar_exprs(1),
+    )
+    leaves = st.one_of(
+        comparisons,
+        st.builds(IsNull, _scalar_exprs(1)),
+        st.builds(Literal, st.sampled_from([True, False, None]),
+                  st.just(DataType.BOOL)),
+    )
+    if depth == 0:
+        return leaves
+    sub = _bool_exprs(depth - 1)
+    return st.one_of(
+        leaves,
+        st.builds(Not, sub),
+        st.builds(
+            lambda op, a, b: BoolExpr(op, (a, b)),
+            st.sampled_from(list(BoolConnective)),
+            sub,
+            sub,
+        ),
+    )
+
+
+class TestExpressionProperties:
+    @given(expr=_bool_exprs(2), row=_rows)
+    @settings(max_examples=300, deadline=None)
+    def test_compiled_equals_interpreted(self, expr, row):
+        layout = layout_of(_COLUMNS)
+        assert compile_expr(expr, layout)(row) == evaluate(expr, row, layout)
+
+    @given(expr=_bool_exprs(2), row=_rows)
+    @settings(max_examples=300, deadline=None)
+    def test_fold_constants_preserves_semantics(self, expr, row):
+        layout = layout_of(_COLUMNS)
+        folded = fold_constants(expr)
+        assert evaluate(folded, row, layout) == evaluate(expr, row, layout)
+
+    @given(expr=_scalar_exprs(2), row=_rows)
+    @settings(max_examples=300, deadline=None)
+    def test_scalar_compile_agreement(self, expr, row):
+        layout = layout_of(_COLUMNS)
+        assert compile_expr(expr, layout)(row) == evaluate(expr, row, layout)
+
+
+# --------------------------------------------------- grand rule correctness
+
+
+def _optimize(tree, disabled=()):
+    config = OptimizerConfig(disabled_rules=frozenset(disabled))
+    return Optimizer(DB.catalog, STATS, REGISTRY, config).optimize(tree)
+
+
+class TestRuleCorrectnessProperty:
+    @given(seed=st.integers(0, 10_000), data=st.data())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_disabling_rules_never_changes_results(self, seed, data):
+        """The paper's correctness criterion, as a universal property."""
+        generator = RandomQueryGenerator(
+            DB.catalog, seed=seed, stats=STATS, min_operators=3,
+            max_operators=7,
+        )
+        tree = generator.random_tree()
+        validate_tree(tree, DB.catalog)
+        baseline = _optimize(tree)
+        expected = execute_plan(baseline.plan, DB, baseline.output_columns)
+
+        # Disable a random sample of the rules that actually fired.
+        fired = sorted(
+            set(baseline.rules_exercised) & set(EXPLORATION_NAMES)
+        )
+        if not fired:
+            return
+        subset = data.draw(
+            st.lists(st.sampled_from(fired), min_size=1, max_size=3,
+                     unique=True)
+        )
+        alternative = _optimize(tree, disabled=subset)
+        actual = execute_plan(
+            alternative.plan, DB, alternative.output_columns
+        )
+        assert results_identical(expected, actual), (
+            f"disabling {subset} changed results for:\n{tree.pretty()}"
+        )
+        assert alternative.cost >= baseline.cost - 1e-9
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sql_roundtrip_preserves_results(self, seed):
+        generator = RandomQueryGenerator(
+            DB.catalog, seed=seed, stats=STATS, min_operators=2,
+            max_operators=6,
+        )
+        tree = generator.random_tree()
+        validate_tree(tree, DB.catalog)
+        sql = to_sql(tree)
+        rebound = sql_to_tree(sql, DB.catalog)
+        validate_tree(rebound, DB.catalog)
+
+        original = _optimize(tree)
+        rebuilt = _optimize(rebound)
+        left = execute_plan(original.plan, DB, original.output_columns)
+        right = execute_plan(rebuilt.plan, DB, rebuilt.output_columns)
+        assert results_identical(left, right), sql
+
+
+# -------------------------------------------------- compression properties
+
+
+def _random_graph(rng):
+    """A random small rule-query bipartite graph with monotone edge costs."""
+    rule_names = ["r1", "r2", "r3"][: rng.randint(2, 3)]
+    nodes = [(name,) for name in rule_names]
+    queries = []
+    edges = {}
+    for qid in range(rng.randint(3, 6)):
+        ruleset = {
+            name for name in rule_names if rng.random() < 0.6
+        }
+        if not ruleset:
+            ruleset = {rng.choice(rule_names)}
+        cost = rng.uniform(1, 100)
+        owner = (sorted(ruleset)[0],)
+        queries.append(
+            SuiteQuery(
+                query_id=qid,
+                tree=None,
+                sql=f"q{qid}",
+                cost=cost,
+                ruleset=frozenset(ruleset),
+                generated_for=owner,
+            )
+        )
+        for name in ruleset:
+            edges[(qid, (name,))] = cost * rng.uniform(1.0, 5.0)
+    # Guarantee coverage: every rule gets one dedicated cheap query.
+    for name in rule_names:
+        qid = len(queries)
+        queries.append(
+            SuiteQuery(
+                query_id=qid,
+                tree=None,
+                sql=f"q{qid}",
+                cost=5.0,
+                ruleset=frozenset({name}),
+                generated_for=(name,),
+            )
+        )
+        edges[(qid, (name,))] = 5.0 * rng.uniform(1.0, 5.0)
+    suite = TestSuite(rule_nodes=nodes, queries=queries, k=1)
+    return suite, edges
+
+
+class _TableOracle:
+    def __init__(self, edges):
+        self._edges = edges
+        self.invocations = 0
+
+    def cost_without(self, query, rules_off):
+        self.invocations += 1
+        return self._edges[(query.query_id, tuple(sorted(rules_off)))]
+
+
+def _brute_force_optimum(suite, edges):
+    """Exhaustive minimum over all valid k=1 assignments."""
+    options = []
+    for node in suite.rule_nodes:
+        options.append(
+            [q.query_id for q in suite.queries if q.exercises(node)]
+        )
+    best = float("inf")
+    for combo in itertools.product(*options):
+        node_cost = sum(
+            suite.query(qid).cost for qid in set(combo)
+        )
+        edge_cost = sum(
+            edges[(qid, node)]
+            for node, qid in zip(suite.rule_nodes, combo)
+        )
+        best = min(best, node_cost + edge_cost)
+    return best
+
+
+class TestCompressionProperties:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=150, deadline=None)
+    def test_topk_is_within_factor_two_of_optimum(self, seed):
+        rng = random.Random(seed)
+        suite, edges = _random_graph(rng)
+        oracle = _TableOracle(edges)
+        plan = top_k_independent_plan(suite, oracle)
+        optimum = _brute_force_optimum(suite, edges)
+        assert plan.total_cost <= 2.0 * optimum + 1e-9
+        assert plan.validates_each_rule_k_times(1)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=150, deadline=None)
+    def test_smc_produces_valid_plans(self, seed):
+        rng = random.Random(seed)
+        suite, edges = _random_graph(rng)
+        plan = set_multicover_plan(suite, _TableOracle(edges))
+        assert plan.validates_each_rule_k_times(1)
+        # Every assigned query must actually exercise its rule node.
+        for node, qids in plan.assignments.items():
+            for qid in qids:
+                assert suite.query(qid).exercises(node)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=150, deadline=None)
+    def test_monotonicity_never_changes_topk_solution(self, seed):
+        rng = random.Random(seed)
+        suite, edges = _random_graph(rng)
+        plain = top_k_independent_plan(suite, _TableOracle(edges))
+        mono_oracle = _TableOracle(edges)
+        mono = top_k_independent_plan(
+            suite, mono_oracle, use_monotonicity=True
+        )
+        assert mono.total_cost == pytest.approx(plain.total_cost)

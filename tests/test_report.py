@@ -1,0 +1,54 @@
+"""Tests for the campaign report module."""
+
+import pytest
+
+from repro.rules.faults import BuggyDistinctRemove
+from repro.rules.registry import default_registry
+from repro.testing.report import run_campaign
+
+
+@pytest.fixture(scope="module")
+def clean_campaign(tpch_db, registry):
+    names = registry.exploration_rule_names[:6]
+    return run_campaign(tpch_db, registry, rule_names=names, k=2, seed=3)
+
+
+class TestCampaign:
+    def test_clean_campaign_passes(self, clean_campaign):
+        assert clean_campaign.passed
+        assert not clean_campaign.coverage.uncovered
+        assert clean_campaign.correctness.passed
+
+    def test_all_three_plans_present(self, clean_campaign):
+        assert set(clean_campaign.plans) == {"BASELINE", "SMC", "TOPK"}
+        assert (
+            clean_campaign.plans["TOPK"].total_cost
+            < clean_campaign.plans["BASELINE"].total_cost
+        )
+
+    def test_markdown_rendering(self, clean_campaign):
+        text = clean_campaign.to_markdown()
+        assert "# Transformation-rule testing campaign" in text
+        assert "**PASSED**" in text
+        assert "| BASELINE |" in text
+        assert "JoinCommutativity" in text
+
+    def test_buggy_campaign_reports_failure(self, tpch_db):
+        registry = default_registry().with_replaced_rule(BuggyDistinctRemove())
+        caught = None
+        for seed in (23, 29, 31):
+            result = run_campaign(
+                tpch_db,
+                registry,
+                rule_names=["DistinctRemoveOnKey"],
+                k=8,
+                seed=seed,
+            )
+            if not result.passed:
+                caught = result
+                break
+        assert caught is not None, "campaign failed to catch the buggy rule"
+        text = caught.to_markdown()
+        assert "**FAILED**" in text
+        assert "### BUG: DistinctRemoveOnKey" in text
+        assert "```sql" in text

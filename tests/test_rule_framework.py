@@ -1,0 +1,161 @@
+"""Unit tests for the rule framework: patterns, matching, XML export."""
+
+import pytest
+
+from repro.logical.operators import (
+    Join,
+    JoinKind,
+    OpKind,
+    Select,
+    make_get,
+)
+from repro.expr.expressions import TRUE
+from repro.rules.framework import (
+    ANY,
+    P,
+    PatternNode,
+    match_structure,
+    pattern_from_xml,
+    pattern_to_xml,
+    tree_contains_pattern,
+)
+from repro.rules.registry import default_registry
+
+
+class TestPatternNodes:
+    def test_generic_node_has_no_children(self):
+        with pytest.raises(ValueError, match="generic pattern nodes"):
+            PatternNode(None, (ANY,))
+
+    def test_join_kinds_only_for_joins(self):
+        with pytest.raises(ValueError, match="join_kinds"):
+            PatternNode(OpKind.SELECT, (ANY,), (JoinKind.INNER,))
+
+    def test_size_and_operator_count(self):
+        pattern = P(OpKind.SELECT, P(OpKind.JOIN, ANY, ANY))
+        assert pattern.size() == 4
+        assert pattern.operator_count() == 2
+
+    def test_str_rendering(self):
+        pattern = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.LEFT_OUTER,))
+        assert str(pattern) == "Join[LEFT OUTER](?, ?)"
+
+
+class TestMatching:
+    @pytest.fixture()
+    def join_tree(self, tiny_catalog):
+        emp = make_get(tiny_catalog.table("emp"))
+        dept = make_get(tiny_catalog.table("dept"))
+        return Join(JoinKind.INNER, emp, dept, TRUE)
+
+    def test_generic_matches_anything(self, join_tree):
+        assert match_structure(join_tree, ANY)
+
+    def test_operator_kind_matched(self, join_tree):
+        assert match_structure(join_tree, P(OpKind.JOIN, ANY, ANY))
+        assert not match_structure(join_tree, P(OpKind.SELECT, ANY))
+
+    def test_join_kind_restriction(self, join_tree):
+        inner_only = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,))
+        loj_only = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.LEFT_OUTER,))
+        assert match_structure(join_tree, inner_only)
+        assert not match_structure(join_tree, loj_only)
+
+    def test_nested_pattern(self, join_tree):
+        select = Select(join_tree, TRUE)
+        pattern = P(OpKind.SELECT, P(OpKind.JOIN, ANY, ANY))
+        assert match_structure(select, pattern)
+        assert not match_structure(join_tree, pattern)
+
+    def test_tree_contains_pattern_finds_subtrees(self, join_tree):
+        select = Select(join_tree, TRUE)
+        join_pattern = P(OpKind.JOIN, ANY, ANY)
+        assert tree_contains_pattern(select, join_pattern)
+        assert tree_contains_pattern(select, P(OpKind.GET))
+        assert not tree_contains_pattern(select, P(OpKind.DISTINCT, ANY))
+
+
+class TestXmlExport:
+    def test_roundtrip_simple(self):
+        pattern = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,))
+        assert pattern_from_xml(pattern_to_xml(pattern)) == pattern
+
+    def test_roundtrip_all_registry_patterns(self):
+        registry = default_registry()
+        for rule in registry.all_rules:
+            xml = pattern_to_xml(rule.pattern)
+            assert pattern_from_xml(xml) == rule.pattern
+
+    def test_xml_shape(self):
+        xml = pattern_to_xml(P(OpKind.GB_AGG, ANY))
+        assert xml == '<Operator kind="GbAgg"><Any /></Operator>'
+
+    def test_bad_xml_rejected(self):
+        with pytest.raises(ValueError, match="unexpected element"):
+            pattern_from_xml("<Banana />")
+
+
+class TestRegistry:
+    def test_default_counts(self):
+        registry = default_registry()
+        assert len(registry.exploration_rules) == 35
+        assert len(registry.implementation_rules) == 15
+
+    def test_rules_have_unique_names(self):
+        registry = default_registry()
+        names = [rule.name for rule in registry.all_rules]
+        assert len(names) == len(set(names))
+
+    def test_lookup_by_name(self):
+        registry = default_registry()
+        assert registry.rule("JoinCommutativity").name == "JoinCommutativity"
+        assert "JoinCommutativity" in registry
+        with pytest.raises(KeyError):
+            registry.rule("Nonexistent")
+
+    def test_pattern_xml_api(self):
+        registry = default_registry()
+        xml = registry.pattern_xml("JoinCommutativity")
+        assert 'kind="Join"' in xml
+
+    def test_exploration_subset(self):
+        registry = default_registry()
+        subset = registry.with_exploration_subset(
+            ["JoinCommutativity", "SelectMerge"]
+        )
+        assert len(subset.exploration_rules) == 2
+        assert len(subset.implementation_rules) == 15
+
+    def test_subset_rejects_implementation_rule(self):
+        registry = default_registry()
+        with pytest.raises(ValueError, match="not an exploration rule"):
+            registry.with_exploration_subset(["GetToTableScan"])
+
+    def test_with_replaced_rule(self):
+        from repro.rules.faults import BuggyDistinctRemove
+
+        registry = default_registry()
+        swapped = registry.with_replaced_rule(BuggyDistinctRemove())
+        assert isinstance(
+            swapped.rule("DistinctRemoveOnKey"), BuggyDistinctRemove
+        )
+        # Original registry untouched.
+        assert not isinstance(
+            registry.rule("DistinctRemoveOnKey"), BuggyDistinctRemove
+        )
+
+    def test_replace_unknown_rule_raises(self):
+        registry = default_registry()
+
+        class Stranger:
+            name = "NoSuchRule"
+
+        with pytest.raises(KeyError):
+            registry.with_replaced_rule(Stranger())
+
+    def test_patterns_are_necessary_conditions(self, tiny_catalog):
+        """Every exploration rule's pattern root matches the operator kind
+        its substitute consumes -- a structural sanity check."""
+        registry = default_registry()
+        for rule in registry.exploration_rules:
+            assert rule.pattern.kind is not None, rule.name

@@ -1,0 +1,611 @@
+"""Per-rule semantic tests.
+
+For every exploration rule in the library we build a targeted logical tree
+on which the rule fires, then verify the paper's core invariant: the
+results of ``Plan(q)`` and ``Plan(q, ¬{rule})`` are identical when executed
+(three-valued logic, NULL extension, bag semantics and all).  Negative
+tests pin down the rules' preconditions -- cases where a rule must NOT
+fire because firing would be incorrect.
+"""
+
+import pytest
+
+from repro.catalog.schema import DataType
+from repro.engine import diff_summary, execute_plan, results_identical
+from repro.expr.aggregates import AggregateCall, AggregateFunction
+from repro.expr.expressions import (
+    TRUE,
+    BoolConnective,
+    BoolExpr,
+    Column,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    IsNull,
+    Literal,
+)
+from repro.logical.operators import (
+    Distinct,
+    Except,
+    GbAgg,
+    Intersect,
+    Join,
+    JoinKind,
+    Project,
+    Select,
+    Union,
+    UnionAll,
+    make_get,
+)
+from repro.logical.validate import validate_tree
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.engine import Optimizer
+from repro.rules.registry import default_registry
+
+REGISTRY = default_registry()
+
+
+def _optimize(database, tree, disabled=()):
+    config = OptimizerConfig(disabled_rules=frozenset(disabled))
+    optimizer = Optimizer(
+        database.catalog, database.stats_repository(), REGISTRY, config
+    )
+    return optimizer.optimize(tree)
+
+
+def assert_rule_correct(database, tree, rule_name):
+    """The rule fires on ``tree`` and does not change executed results."""
+    validate_tree(tree, database.catalog)
+    with_rule = _optimize(database, tree)
+    assert rule_name in with_rule.rules_exercised, (
+        f"{rule_name} was not exercised on the targeted tree"
+    )
+    without_rule = _optimize(database, tree, disabled=[rule_name])
+    assert rule_name not in without_rule.rules_exercised
+    baseline = execute_plan(with_rule.plan, database, with_rule.output_columns)
+    alternative = execute_plan(
+        without_rule.plan, database, without_rule.output_columns
+    )
+    assert results_identical(baseline, alternative), diff_summary(
+        baseline, alternative
+    )
+    assert without_rule.cost >= with_rule.cost - 1e-9, (
+        "disabling a rule must never reduce the plan cost"
+    )
+    return baseline
+
+
+def assert_not_exercised(database, tree, rule_name, also_disable=()):
+    """``rule_name`` must not fire.  ``also_disable`` pins down bindings
+    that other rules (e.g. join commutativity) would otherwise create."""
+    validate_tree(tree, database.catalog)
+    result = _optimize(database, tree, disabled=also_disable)
+    assert rule_name not in result.rules_exercised
+
+
+# ------------------------------------------------------------- tree helpers
+
+
+def _eq(a, b):
+    return Comparison(ComparisonOp.EQ, ColumnRef(a), ColumnRef(b))
+
+
+def _gt(column, value, data_type=DataType.FLOAT):
+    return Comparison(ComparisonOp.GT, ColumnRef(column), Literal(value, data_type))
+
+
+def _fk_join(emp, dept, kind=JoinKind.INNER):
+    return Join(kind, emp, dept, _eq(emp.columns[1], dept.columns[0]))
+
+
+def _gets(db, *names):
+    return [make_get(db.catalog.table(name.split(":")[0]),
+                     name.split(":")[-1] if ":" in name else None)
+            for name in names]
+
+
+def _count_by(child, group_cols, name="n"):
+    out = Column(name, DataType.INT)
+    return GbAgg(
+        child,
+        tuple(group_cols),
+        ((out, AggregateCall(AggregateFunction.COUNT_STAR)),),
+    )
+
+
+def _sum_by(child, group_cols, arg, name="s"):
+    out = Column(name, DataType.FLOAT)
+    return GbAgg(
+        child,
+        tuple(group_cols),
+        ((out, AggregateCall(AggregateFunction.SUM, ColumnRef(arg))),),
+    )
+
+
+# -------------------------------------------------------------- join rules
+
+
+class TestJoinRules:
+    def test_join_commutativity(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        tree = _fk_join(emp, dept)
+        assert_rule_correct(tiny_db, tree, "JoinCommutativity")
+
+    def test_join_left_associativity(self, tiny_db):
+        emp, dept, emp2 = _gets(tiny_db, "emp", "dept", "emp:e2")
+        bottom = _fk_join(emp, dept)
+        top = Join(
+            JoinKind.INNER, bottom, emp2,
+            _eq(dept.columns[0], emp2.columns[1]),
+        )
+        assert_rule_correct(tiny_db, top, "JoinLeftAssociativity")
+
+    def test_join_right_associativity(self, tiny_db):
+        emp, dept, emp2 = _gets(tiny_db, "emp", "dept", "emp:e2")
+        bottom = _fk_join(emp2, dept)
+        top = Join(
+            JoinKind.INNER, emp, bottom,
+            _eq(emp.columns[1], emp2.columns[1]),
+        )
+        assert_rule_correct(tiny_db, top, "JoinRightAssociativity")
+
+    def test_cross_to_inner_join(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        cross = Join(JoinKind.CROSS, emp, dept)
+        tree = Select(cross, _eq(emp.columns[1], dept.columns[0]))
+        assert_rule_correct(tiny_db, tree, "CrossToInnerJoin")
+
+    def test_cross_to_inner_needs_cross_side_conjunct(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        cross = Join(JoinKind.CROSS, emp, dept)
+        tree = Select(cross, _gt(emp.columns[2], 1.0))
+        assert_not_exercised(tiny_db, tree, "CrossToInnerJoin")
+
+    def test_join_predicate_to_select(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        assert_rule_correct(
+            tiny_db, _fk_join(emp, dept), "JoinPredicateToSelect"
+        )
+
+
+# ------------------------------------------------------------ select rules
+
+
+class TestSelectRules:
+    def test_select_merge_and_commute(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        tree = Select(
+            Select(emp, _gt(emp.columns[2], 50.0)),
+            _gt(emp.columns[0], 1, DataType.INT),
+        )
+        assert_rule_correct(tiny_db, tree, "SelectMerge")
+        assert_rule_correct(tiny_db, tree, "SelectCommute")
+
+    def test_select_split(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        predicate = BoolExpr(
+            BoolConnective.AND,
+            (_gt(emp.columns[2], 50.0), _gt(emp.columns[0], 1, DataType.INT)),
+        )
+        assert_rule_correct(tiny_db, Select(emp, predicate), "SelectSplit")
+
+    def test_select_push_below_join_left(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        tree = Select(_fk_join(emp, dept), _gt(emp.columns[2], 60.0))
+        assert_rule_correct(tiny_db, tree, "SelectPushBelowJoinLeft")
+
+    def test_left_push_needs_left_only_conjunct(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        spans_both = Comparison(
+            ComparisonOp.LT,
+            ColumnRef(emp.columns[2]),
+            ColumnRef(dept.columns[2]),
+        )
+        tree = Select(_fk_join(emp, dept), spans_both)
+        assert_not_exercised(tiny_db, tree, "SelectPushBelowJoinLeft")
+
+    def test_select_push_below_join_right(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        tree = Select(_fk_join(emp, dept), _gt(dept.columns[2], 10.0))
+        assert_rule_correct(tiny_db, tree, "SelectPushBelowJoinRight")
+
+    def test_select_into_join_predicate(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        tree = Select(_fk_join(emp, dept), _gt(emp.columns[2], 60.0))
+        assert_rule_correct(tiny_db, tree, "SelectIntoJoinPredicate")
+
+    def test_select_push_below_project(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        project = Project(
+            emp,
+            (
+                (emp.columns[0], ColumnRef(emp.columns[0])),
+                (emp.columns[2], ColumnRef(emp.columns[2])),
+            ),
+        )
+        tree = Select(project, _gt(emp.columns[2], 60.0))
+        assert_rule_correct(tiny_db, tree, "SelectPushBelowProject")
+
+    def test_select_push_below_gbagg(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        agg = _count_by(emp, [emp.columns[1]])
+        tree = Select(agg, _gt(emp.columns[1], 10, DataType.INT))
+        assert_rule_correct(tiny_db, tree, "SelectPushBelowGbAgg")
+
+    def test_push_below_gbagg_blocked_on_aggregate_output(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        agg = _count_by(emp, [emp.columns[1]])
+        count_col = agg.output_columns[-1]
+        tree = Select(agg, _gt(count_col, 1, DataType.INT))
+        assert_not_exercised(tiny_db, tree, "SelectPushBelowGbAgg")
+
+    def _union(self, ctor, tiny_db):
+        emp, emp2 = _gets(tiny_db, "emp", "emp:e2")
+        out = Column("u", DataType.FLOAT)
+        setop = ctor(
+            emp, emp2, (out,), (emp.columns[2],), (emp2.columns[2],)
+        )
+        return setop, out
+
+    def test_select_push_below_union_all(self, tiny_db):
+        setop, out = self._union(UnionAll, tiny_db)
+        tree = Select(setop, _gt(out, 70.0))
+        assert_rule_correct(tiny_db, tree, "SelectPushBelowUnionAll")
+
+    def test_select_push_below_union(self, tiny_db):
+        setop, out = self._union(Union, tiny_db)
+        tree = Select(setop, _gt(out, 70.0))
+        assert_rule_correct(tiny_db, tree, "SelectPushBelowUnion")
+
+    def test_select_true_removal(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        assert_rule_correct(tiny_db, Select(emp, TRUE), "SelectTrueRemoval")
+
+
+# ----------------------------------------------------------- project rules
+
+
+class TestProjectRules:
+    def test_project_merge(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        inner = Project(
+            emp,
+            (
+                (emp.columns[0], ColumnRef(emp.columns[0])),
+                (emp.columns[2], ColumnRef(emp.columns[2])),
+            ),
+        )
+        outer = Project(inner, ((emp.columns[2], ColumnRef(emp.columns[2])),))
+        assert_rule_correct(tiny_db, outer, "ProjectMerge")
+
+    def test_remove_trivial_project(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        trivial = Project(
+            emp, tuple((c, ColumnRef(c)) for c in emp.columns)
+        )
+        assert_rule_correct(tiny_db, trivial, "RemoveTrivialProject")
+
+    def test_partial_project_is_not_trivial(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        partial = Project(emp, ((emp.columns[0], ColumnRef(emp.columns[0])),))
+        assert_not_exercised(tiny_db, partial, "RemoveTrivialProject")
+
+
+# ----------------------------------------------------------- groupby rules
+
+
+class TestGroupByRules:
+    def test_gbagg_pull_above_join(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        agg = _count_by(emp, [emp.columns[1]])
+        join = Join(
+            JoinKind.INNER, agg, dept, _eq(emp.columns[1], dept.columns[0])
+        )
+        assert_rule_correct(tiny_db, join, "GbAggPullAboveJoin")
+
+    def test_pull_above_needs_unique_right_side(self, tiny_db):
+        emp, emp2 = _gets(tiny_db, "emp", "emp:e2")
+        agg = _count_by(emp, [emp.columns[1]])
+        # emp_dept on the right side is NOT a key: the rule must not fire.
+        join = Join(
+            JoinKind.INNER, agg, emp2, _eq(emp.columns[1], emp2.columns[1])
+        )
+        assert_not_exercised(tiny_db, join, "GbAggPullAboveJoin")
+
+    def test_pull_above_needs_group_column_join(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        agg = _sum_by(emp, [emp.columns[0]], emp.columns[2])
+        # Join on the aggregate output would be invalid; join predicate on a
+        # non-group column (the SUM output) blocks the rule.
+        sum_col = agg.output_columns[-1]
+        join = Join(
+            JoinKind.INNER, agg, dept,
+            Comparison(
+                ComparisonOp.EQ, ColumnRef(sum_col), ColumnRef(dept.columns[2])
+            ),
+        )
+        assert_not_exercised(tiny_db, join, "GbAggPullAboveJoin")
+
+    @pytest.mark.parametrize(
+        "function",
+        [
+            AggregateFunction.SUM,
+            AggregateFunction.MIN,
+            AggregateFunction.MAX,
+            AggregateFunction.COUNT,
+        ],
+    )
+    def test_gbagg_eager_below_join(self, tiny_db, function):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        join = _fk_join(emp, dept)
+        out = Column("v", DataType.FLOAT if function is not AggregateFunction.COUNT else DataType.INT)
+        agg = GbAgg(
+            join,
+            (dept.columns[1],),
+            ((out, AggregateCall(function, ColumnRef(emp.columns[2]))),),
+        )
+        assert_rule_correct(tiny_db, agg, "GbAggEagerBelowJoin")
+
+    def test_eager_count_star_below_join(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        join = _fk_join(emp, dept)
+        agg = _count_by(join, [dept.columns[1]])
+        assert_rule_correct(tiny_db, agg, "GbAggEagerBelowJoin")
+
+    def test_eager_blocked_when_args_from_right(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        join = _fk_join(emp, dept)
+        agg = _sum_by(join, [emp.columns[1]], dept.columns[2])
+        # Commutativity would legitimately enable the rule by flipping the
+        # join; disable it to test the precondition on this orientation.
+        assert_not_exercised(
+            tiny_db, agg, "GbAggEagerBelowJoin",
+            also_disable=("JoinCommutativity",),
+        )
+
+    def test_gbagg_remove_on_key(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        agg = _sum_by(
+            emp, [emp.columns[0], emp.columns[1]], emp.columns[2]
+        )
+        assert_rule_correct(tiny_db, agg, "GbAggRemoveOnKey")
+
+    def test_remove_on_key_needs_key(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        agg = _sum_by(emp, [emp.columns[1]], emp.columns[2])
+        assert_not_exercised(tiny_db, agg, "GbAggRemoveOnKey")
+
+    def test_gbagg_split_global_local(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        agg = _sum_by(emp, [emp.columns[1]], emp.columns[2])
+        assert_rule_correct(tiny_db, agg, "GbAggSplitGlobalLocal")
+
+    def test_split_blocked_for_avg(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        out = Column("a", DataType.FLOAT)
+        agg = GbAgg(
+            emp,
+            (emp.columns[1],),
+            ((out, AggregateCall(
+                AggregateFunction.AVG, ColumnRef(emp.columns[2]))),),
+        )
+        # AvgToSumDivCount would legitimately unlock the split by rewriting
+        # AVG; disable it to test the split rule's own precondition.
+        assert_not_exercised(
+            tiny_db, agg, "GbAggSplitGlobalLocal",
+            also_disable=("AvgToSumDivCount",),
+        )
+
+
+# ---------------------------------------------------------- distinct rules
+
+
+class TestDistinctRules:
+    def test_distinct_to_gbagg(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        project = Project(emp, ((emp.columns[1], ColumnRef(emp.columns[1])),))
+        tree = Distinct(project)
+        result = assert_rule_correct(tiny_db, tree, "DistinctToGbAgg")
+        assert result.row_count == 4  # 10, 20, 30, NULL
+
+    def test_distinct_remove_on_key(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        assert_rule_correct(tiny_db, Distinct(emp), "DistinctRemoveOnKey")
+
+    def test_distinct_remove_needs_key(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        project = Project(emp, ((emp.columns[2], ColumnRef(emp.columns[2])),))
+        assert_not_exercised(tiny_db, Distinct(project), "DistinctRemoveOnKey")
+
+    def test_semi_join_to_join_on_key(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        semi = Join(
+            JoinKind.SEMI, emp, dept, _eq(emp.columns[1], dept.columns[0])
+        )
+        assert_rule_correct(tiny_db, semi, "SemiJoinToJoinOnKey")
+
+    def test_semi_join_rewrite_needs_unique_right(self, tiny_db):
+        emp, emp2 = _gets(tiny_db, "emp", "emp:e2")
+        semi = Join(
+            JoinKind.SEMI, emp, emp2, _eq(emp.columns[1], emp2.columns[1])
+        )
+        assert_not_exercised(tiny_db, semi, "SemiJoinToJoinOnKey")
+
+
+# --------------------------------------------------------- outer-join rules
+
+
+class TestOuterJoinRules:
+    def test_loj_to_join_on_null_reject(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        loj = _fk_join(emp, dept, JoinKind.LEFT_OUTER)
+        tree = Select(loj, _gt(dept.columns[2], 10.0))
+        assert_rule_correct(tiny_db, tree, "LojToJoinOnNullReject")
+
+    def test_loj_simplification_blocked_for_is_null(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        loj = _fk_join(emp, dept, JoinKind.LEFT_OUTER)
+        tree = Select(loj, IsNull(ColumnRef(dept.columns[2])))
+        assert_not_exercised(tiny_db, tree, "LojToJoinOnNullReject")
+
+    def test_join_loj_associativity(self, tiny_db):
+        # The paper's example: R JOIN (S LOJ T) with the join predicate
+        # between R and S only.
+        dept2, emp, dept = _gets(tiny_db, "dept:r", "emp", "dept")
+        loj = _fk_join(emp, dept, JoinKind.LEFT_OUTER)
+        tree = Join(
+            JoinKind.INNER, dept2, loj, _eq(dept2.columns[0], emp.columns[1])
+        )
+        assert_rule_correct(tiny_db, tree, "JoinLojAssociativity")
+
+    def test_loj_associativity_blocked_when_predicate_touches_t(self, tiny_db):
+        dept2, emp, dept = _gets(tiny_db, "dept:r", "emp", "dept")
+        loj = _fk_join(emp, dept, JoinKind.LEFT_OUTER)
+        tree = Join(
+            JoinKind.INNER, dept2, loj, _eq(dept2.columns[0], dept.columns[0])
+        )
+        assert_not_exercised(tiny_db, tree, "JoinLojAssociativity")
+
+    def test_loj_push_select_left(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        loj = _fk_join(emp, dept, JoinKind.LEFT_OUTER)
+        tree = Select(loj, _gt(emp.columns[2], 60.0))
+        assert_rule_correct(tiny_db, tree, "LojPushSelectLeft")
+
+
+# -------------------------------------------------------------- setop rules
+
+
+class TestSetOpRules:
+    def _two_branches(self, tiny_db):
+        emp, emp2 = _gets(tiny_db, "emp", "emp:e2")
+        out = Column("u", DataType.INT)
+        return emp, emp2, out
+
+    def test_union_all_commutativity(self, tiny_db):
+        emp, emp2, out = self._two_branches(tiny_db)
+        union = UnionAll(
+            emp, emp2, (out,), (emp.columns[1],), (emp2.columns[1],)
+        )
+        assert_rule_correct(tiny_db, union, "UnionAllCommutativity")
+
+    def test_union_all_associativity(self, tiny_db):
+        emp, emp2, out = self._two_branches(tiny_db)
+        (dept,) = _gets(tiny_db, "dept")
+        mid = Column("m", DataType.INT)
+        inner = UnionAll(
+            emp, emp2, (mid,), (emp.columns[1],), (emp2.columns[1],)
+        )
+        outer = UnionAll(inner, dept, (out,), (mid,), (dept.columns[0],))
+        assert_rule_correct(tiny_db, outer, "UnionAllAssociativity")
+
+    def test_union_to_distinct_union_all(self, tiny_db):
+        emp, emp2, out = self._two_branches(tiny_db)
+        union = Union(
+            emp, emp2, (out,), (emp.columns[1],), (emp2.columns[1],)
+        )
+        result = assert_rule_correct(tiny_db, union, "UnionToDistinctUnionAll")
+        assert result.row_count == 4  # 10, 20, 30, NULL deduplicated
+
+    def test_intersect_to_semi_join_keeps_null_rows(self, tiny_db):
+        emp, emp2, out = self._two_branches(tiny_db)
+        intersect = Intersect(
+            emp, emp2, (out,), (emp.columns[1],), (emp2.columns[1],)
+        )
+        result = assert_rule_correct(tiny_db, intersect, "IntersectToSemiJoin")
+        values = {row[0] for row in result.rows}
+        assert None in values, "INTERSECT must treat NULLs as equal"
+
+    def test_except_to_anti_join(self, tiny_db):
+        emp, dept, _ = self._two_branches(tiny_db)
+        (dept,) = _gets(tiny_db, "dept")
+        out = Column("u", DataType.INT)
+        except_op = Except(
+            dept, emp, (out,), (dept.columns[0],), (emp.columns[1],)
+        )
+        result = assert_rule_correct(tiny_db, except_op, "ExceptToAntiJoin")
+        assert {row[0] for row in result.rows} == {40}
+
+
+class TestMiscRules:
+    def test_anti_join_to_loj_filter(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        anti = Join(
+            JoinKind.ANTI, dept, emp, _eq(dept.columns[0], emp.columns[1])
+        )
+        result = assert_rule_correct(tiny_db, anti, "AntiJoinToLojFilter")
+        # dept 40 is the only department without employees.
+        assert {row[0] for row in result.rows} == {40}
+
+    def test_anti_rewrite_needs_non_null_witness(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        # Project the right side down to only nullable columns: no witness.
+        nullable_only = Project(
+            emp, ((emp.columns[2], ColumnRef(emp.columns[2])),)
+        )
+        anti = Join(
+            JoinKind.ANTI,
+            dept,
+            nullable_only,
+            Comparison(
+                ComparisonOp.LT,
+                ColumnRef(dept.columns[2]),
+                ColumnRef(emp.columns[2]),
+            ),
+        )
+        assert_not_exercised(tiny_db, anti, "AntiJoinToLojFilter")
+
+    def test_avg_to_sum_div_count(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        out = Column("avg_salary", DataType.FLOAT)
+        agg = GbAgg(
+            emp,
+            (emp.columns[1],),
+            ((out, AggregateCall(
+                AggregateFunction.AVG, ColumnRef(emp.columns[2]))),),
+        )
+        result = assert_rule_correct(tiny_db, agg, "AvgToSumDivCount")
+        by_dept = {row[0]: row[1] for row in result.rows}
+        assert by_dept[10] == pytest.approx(100.0)  # (120 + 80) / 2
+        assert by_dept[30] is None  # eve's NULL salary only
+
+    def test_avg_rewrite_blocked_without_avg(self, tiny_db):
+        (emp,) = _gets(tiny_db, "emp")
+        agg = _sum_by(emp, [emp.columns[1]], emp.columns[2])
+        assert_not_exercised(tiny_db, agg, "AvgToSumDivCount")
+
+    def test_avg_rewrite_unlocks_eager_aggregation(self, tiny_db):
+        """AVG alone blocks eager aggregation; the SUM/COUNT decomposition
+        makes it reachable -- a derived rule interaction."""
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        join = _fk_join(emp, dept)
+        out = Column("a", DataType.FLOAT)
+        agg = GbAgg(
+            join,
+            (dept.columns[1],),
+            ((out, AggregateCall(
+                AggregateFunction.AVG, ColumnRef(emp.columns[2]))),),
+        )
+        result = _optimize(tiny_db, agg)
+        assert "AvgToSumDivCount" in result.rules_exercised
+        assert "GbAggEagerBelowJoin" in result.rules_exercised
+        assert (
+            "AvgToSumDivCount",
+            "GbAggEagerBelowJoin",
+        ) in result.rule_interactions or (
+            "GbAggEagerBelowJoin" in result.rules_exercised
+        )
+
+
+class TestAllRulesHaveTargetedCoverage:
+    def test_every_exploration_rule_appears_in_this_module(self):
+        """Guard: adding a rule without a targeted semantic test fails."""
+        import pathlib
+
+        source = pathlib.Path(__file__).read_text()
+        missing = [
+            rule.name
+            for rule in REGISTRY.exploration_rules
+            if f'"{rule.name}"' not in source
+        ]
+        assert not missing, f"rules without targeted tests: {missing}"

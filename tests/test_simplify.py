@@ -1,0 +1,118 @@
+"""Unit tests for constant folding and predicate simplification."""
+
+import pytest
+
+from repro.catalog.schema import DataType
+from repro.expr.expressions import (
+    FALSE,
+    TRUE,
+    Arithmetic,
+    ArithmeticOp,
+    BoolConnective,
+    BoolExpr,
+    Column,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    IsNull,
+    Literal,
+    Not,
+)
+from repro.expr.simplify import fold_constants, is_constant, simplify_predicate
+
+
+@pytest.fixture()
+def a():
+    return Column("a", DataType.INT)
+
+
+class TestConstantDetection:
+    def test_literal_is_constant(self):
+        assert is_constant(Literal(1, DataType.INT))
+
+    def test_column_is_not_constant(self, a):
+        assert not is_constant(ColumnRef(a))
+
+    def test_composite_with_column_is_not_constant(self, a):
+        expr = Comparison(ComparisonOp.EQ, ColumnRef(a), Literal(1, DataType.INT))
+        assert not is_constant(expr)
+
+
+class TestFolding:
+    def test_arithmetic_folds(self):
+        expr = Arithmetic(
+            ArithmeticOp.ADD, Literal(2, DataType.INT), Literal(3, DataType.INT)
+        )
+        assert fold_constants(expr) == Literal(5, DataType.INT)
+
+    def test_comparison_folds(self):
+        expr = Comparison(
+            ComparisonOp.LT, Literal(1, DataType.INT), Literal(2, DataType.INT)
+        )
+        assert fold_constants(expr) == TRUE
+
+    def test_null_comparison_folds_to_null(self):
+        expr = Comparison(
+            ComparisonOp.EQ, Literal(None, DataType.INT), Literal(2, DataType.INT)
+        )
+        folded = fold_constants(expr)
+        assert isinstance(folded, Literal) and folded.value is None
+
+    def test_and_with_false_dominates(self, a):
+        live = Comparison(ComparisonOp.GT, ColumnRef(a), Literal(0, DataType.INT))
+        expr = BoolExpr(BoolConnective.AND, (live, FALSE))
+        assert fold_constants(expr) == FALSE
+
+    def test_and_true_identity(self, a):
+        live = Comparison(ComparisonOp.GT, ColumnRef(a), Literal(0, DataType.INT))
+        expr = BoolExpr(BoolConnective.AND, (live, TRUE))
+        assert fold_constants(expr) == live
+
+    def test_or_with_true_dominates(self, a):
+        live = Comparison(ComparisonOp.GT, ColumnRef(a), Literal(0, DataType.INT))
+        expr = BoolExpr(BoolConnective.OR, (live, TRUE))
+        assert fold_constants(expr) == TRUE
+
+    def test_or_false_identity(self, a):
+        live = Comparison(ComparisonOp.GT, ColumnRef(a), Literal(0, DataType.INT))
+        expr = BoolExpr(BoolConnective.OR, (live, FALSE))
+        assert fold_constants(expr) == live
+
+    def test_all_true_and(self):
+        assert fold_constants(BoolExpr(BoolConnective.AND, (TRUE, TRUE))) == TRUE
+
+    def test_nested_folding(self, a):
+        inner = Comparison(
+            ComparisonOp.EQ, Literal(1, DataType.INT), Literal(1, DataType.INT)
+        )
+        live = IsNull(ColumnRef(a))
+        expr = BoolExpr(BoolConnective.AND, (inner, live))
+        assert fold_constants(expr) == live
+
+
+class TestSimplifyPredicate:
+    def test_double_negation(self, a):
+        live = IsNull(ColumnRef(a))
+        assert simplify_predicate(Not(Not(live))) == live
+
+    def test_not_comparison_inverts_operator(self, a):
+        expr = Not(
+            Comparison(ComparisonOp.LT, ColumnRef(a), Literal(5, DataType.INT))
+        )
+        assert simplify_predicate(expr) == Comparison(
+            ComparisonOp.GE, ColumnRef(a), Literal(5, DataType.INT)
+        )
+
+    def test_inverted_comparison_agrees_in_three_valued_logic(self, a):
+        """NOT(a < 5) == a >= 5 must hold even for NULL a (both UNKNOWN)."""
+        from repro.expr.eval import evaluate, layout_of
+
+        layout = layout_of([a])
+        original = Not(
+            Comparison(ComparisonOp.LT, ColumnRef(a), Literal(5, DataType.INT))
+        )
+        rewritten = simplify_predicate(original)
+        for value in (None, 1, 5, 9):
+            assert evaluate(original, (value,), layout) is evaluate(
+                rewritten, (value,), layout
+            )

@@ -1,0 +1,70 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import LexError, TokenType, tokenize
+
+
+def _types(text):
+    return [token.type for token in tokenize(text)]
+
+
+def _values(text):
+    return [token.value for token in tokenize(text)][:-1]  # drop EOF
+
+
+class TestTokenization:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("MyTable my_col")
+        assert [t.value for t in tokens[:-1]] == ["MyTable", "my_col"]
+        assert tokens[0].type is TokenType.IDENT
+
+    def test_numbers(self):
+        assert _values("42 3.14") == ["42", "3.14"]
+        tokens = tokenize("42 3.14")
+        assert tokens[0].type is TokenType.NUMBER
+
+    def test_qualified_name_dot_is_punct(self):
+        values = _values("t.a")
+        assert values == ["t", ".", "a"]
+
+    def test_number_then_dot_identifier(self):
+        # "1.x" must not swallow the dot into the number.
+        values = _values("q1.x")
+        assert values == ["q1", ".", "x"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'o''brien'")
+        assert tokens[0].value == "o'brien"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators_longest_match(self):
+        assert _values("a <= b <> c >= d") == ["a", "<=", "b", "<>", "c", ">=", "d"]
+
+    def test_punct(self):
+        assert _values("(a, b)") == ["(", "a", ",", "b", ")"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a ; b")
+
+    def test_eof_token_present(self):
+        tokens = tokenize("a")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_aggregate_names_are_keywords(self):
+        tokens = tokenize("COUNT SUM MIN MAX AVG")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])

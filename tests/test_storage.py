@@ -1,0 +1,94 @@
+"""Unit tests for the in-memory storage engine."""
+
+import pytest
+
+from repro.catalog.schema import Catalog, ColumnDef, DataType, TableDef
+from repro.storage.database import Database, empty_database
+from repro.storage.table import StorageError, StoredTable
+
+
+@pytest.fixture()
+def table_def():
+    return TableDef(
+        name="t",
+        columns=[
+            ColumnDef("a", DataType.INT, nullable=False),
+            ColumnDef("b", DataType.STRING),
+            ColumnDef("c", DataType.FLOAT),
+            ColumnDef("d", DataType.BOOL),
+        ],
+        primary_key=("a",),
+    )
+
+
+class TestStoredTable:
+    def test_insert_and_scan(self, table_def):
+        table = StoredTable(table_def)
+        table.insert((1, "x", 1.5, True))
+        table.insert((2, None, None, None))
+        assert len(table) == 2
+        assert list(table.scan()) == [(1, "x", 1.5, True), (2, None, None, None)]
+
+    def test_arity_mismatch(self, table_def):
+        table = StoredTable(table_def)
+        with pytest.raises(StorageError, match="expected 4 values"):
+            table.insert((1, "x"))
+
+    def test_not_null_enforced(self, table_def):
+        table = StoredTable(table_def)
+        with pytest.raises(StorageError, match="NULL in NOT NULL"):
+            table.insert((None, "x", 1.0, False))
+
+    def test_type_checked(self, table_def):
+        table = StoredTable(table_def)
+        with pytest.raises(StorageError, match="not a valid"):
+            table.insert((1, 42, 1.0, False))  # int into STRING column
+
+    def test_bool_rejected_for_int_column(self, table_def):
+        table = StoredTable(table_def)
+        with pytest.raises(StorageError, match="bool for INT"):
+            table.insert((True, "x", 1.0, False))
+
+    def test_int_accepted_for_float_column(self, table_def):
+        table = StoredTable(table_def)
+        table.insert((1, "x", 2, False))  # int widens to float
+        assert table.rows[0][2] == 2
+
+    def test_stats_recomputed_after_insert(self, table_def):
+        table = StoredTable(table_def)
+        table.insert((1, "x", 1.0, True))
+        first = table.stats()
+        assert first.row_count == 1
+        table.insert((2, "y", 2.0, True))
+        assert table.stats().row_count == 2
+
+    def test_stats_cached_between_inserts(self, table_def):
+        table = StoredTable(table_def)
+        table.insert((1, "x", 1.0, True))
+        assert table.stats() is table.stats()
+
+
+class TestDatabase:
+    def test_tables_materialized_from_catalog(self, table_def):
+        database = Database(Catalog([table_def]))
+        assert database.table("t").name == "t"
+        assert len(database.tables()) == 1
+
+    def test_insert_and_row_count(self, table_def):
+        database = Database(Catalog([table_def]))
+        database.insert("t", [(1, "x", 1.0, True), (2, "y", None, None)])
+        assert database.row_count("t") == 2
+
+    def test_stats_repository_snapshot(self, table_def):
+        database = Database(Catalog([table_def]))
+        database.insert("t", [(1, "x", 1.0, True)])
+        repo = database.stats_repository()
+        assert repo.get("t").row_count == 1
+
+    def test_describe_lists_tables(self, table_def):
+        database = Database(Catalog([table_def]))
+        assert "t: 0 rows" in database.describe()
+
+    def test_empty_database_helper(self, table_def):
+        database = empty_database([table_def])
+        assert database.row_count("t") == 0
