@@ -1,0 +1,39 @@
+"""Static analysis of the rule registry and optimizer plans.
+
+Three passes over a shared diagnostic model (see ``docs/ANALYSIS.md``):
+
+1. registry lint (:mod:`repro.analysis.lint`) -- pattern well-formedness,
+   duplicate/subsumed patterns, dead rules, documentation drift;
+2. symbolic substitution verification (:mod:`repro.analysis.verify`) --
+   synthesize bindings from each rule's pattern, apply the substitution,
+   and check schema, keys, non-null columns and row bounds statically;
+3. the plan sanitizer (:mod:`repro.analysis.sanitize`) -- invariant checks
+   wired into the optimizer behind ``OptimizerConfig.sanitize_plans``.
+"""
+
+from repro.analysis.bounds import BoundsDeriver, RowBounds
+from repro.analysis.context import TreeContext
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.lint import RegistryLinter, pattern_subsumes
+from repro.analysis.sanitize import (
+    MonotonicityGuard,
+    PlanSanitizer,
+    PlanSanityError,
+)
+from repro.analysis.verify import SubstitutionVerifier, default_workloads
+
+__all__ = [
+    "AnalysisReport",
+    "BoundsDeriver",
+    "Diagnostic",
+    "MonotonicityGuard",
+    "PlanSanitizer",
+    "PlanSanityError",
+    "RegistryLinter",
+    "RowBounds",
+    "Severity",
+    "SubstitutionVerifier",
+    "TreeContext",
+    "default_workloads",
+    "pattern_subsumes",
+]

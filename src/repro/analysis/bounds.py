@@ -1,0 +1,176 @@
+"""Sound row-count bounds for logical trees.
+
+Unlike the estimates in :mod:`repro.logical.cardinality` (heuristic point
+values), these are *guaranteed* intervals: for a given database state whose
+base-table row counts match the statistics, the true result size always
+falls inside ``[lo, hi]``.  Two equivalent expressions must therefore have
+overlapping intervals -- a substitution whose bounds are disjoint from its
+binding's, or that is provably empty while the binding is not, cannot be
+semantics-preserving.
+
+Emptiness propagation includes a contradiction check: a ``Select`` (or
+inner-join predicate) with an ``IS NULL`` conjunct over a column that is
+derived non-NULL in its input provably yields zero rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.context import TreeContext
+from repro.expr.expressions import (
+    ColumnRef,
+    Expr,
+    IsNull,
+    Literal,
+    conjuncts,
+)
+from repro.logical.operators import (
+    GbAgg,
+    Get,
+    Join,
+    JoinKind,
+    Limit,
+    LogicalOp,
+    OpKind,
+    Select,
+)
+
+INF = math.inf
+
+
+@dataclass(frozen=True)
+class RowBounds:
+    """A sound ``[lo, hi]`` interval on a relation's row count."""
+
+    lo: float
+    hi: float
+
+    @property
+    def provably_empty(self) -> bool:
+        return self.hi <= 0
+
+    def overlaps(self, other: "RowBounds") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def __str__(self) -> str:
+        hi = "inf" if math.isinf(self.hi) else f"{self.hi:g}"
+        return f"[{self.lo:g}, {hi}]"
+
+
+def _contradictory(predicate: Expr, ctx: TreeContext, child: LogicalOp) -> bool:
+    """Does some conjunct require a provably non-NULL column to be NULL?"""
+    non_null = ctx.props(child).non_null
+    for conjunct in conjuncts(predicate):
+        if isinstance(conjunct, IsNull) and isinstance(
+            conjunct.arg, ColumnRef
+        ):
+            if conjunct.arg.column in non_null:
+                return True
+        if isinstance(conjunct, Literal) and conjunct.value is False:
+            return True
+    return False
+
+
+class BoundsDeriver:
+    """Derives :class:`RowBounds` bottom-up over a logical tree."""
+
+    def __init__(self, ctx: TreeContext) -> None:
+        self.ctx = ctx
+        self.stats = ctx.estimator.stats
+
+    def derive(self, op: LogicalOp) -> RowBounds:
+        handler = self._HANDLERS[op.kind]
+        return handler(self, op)
+
+    # ------------------------------------------------------------- per-op
+
+    def _derive_get(self, op: Get) -> RowBounds:
+        if self.stats.has(op.table):
+            rows = float(self.stats.get(op.table).row_count)
+            return RowBounds(rows, rows)
+        return RowBounds(0.0, INF)
+
+    def _derive_select(self, op: Select) -> RowBounds:
+        child = self.derive(op.child)
+        if _contradictory(op.predicate, self.ctx, op.child):
+            return RowBounds(0.0, 0.0)
+        if isinstance(op.predicate, Literal) and op.predicate.value is True:
+            return child
+        return RowBounds(0.0, child.hi)
+
+    def _derive_passthrough(self, op: LogicalOp) -> RowBounds:
+        (child,) = op.children
+        return self.derive(child)
+
+    def _derive_join(self, op: Join) -> RowBounds:
+        left = self.derive(op.left)
+        right = self.derive(op.right)
+        kind = op.join_kind
+        if kind in (JoinKind.SEMI, JoinKind.ANTI):
+            return RowBounds(0.0, left.hi)
+        hi = left.hi * right.hi
+        if kind is JoinKind.LEFT_OUTER:
+            # Every left row appears at least once (NULL-extended if
+            # unmatched) and at most once per right row.
+            return RowBounds(left.lo, left.hi * max(right.hi, 1.0))
+        if kind is JoinKind.CROSS:
+            return RowBounds(left.lo * right.lo, hi)
+        if _contradictory(op.predicate, self.ctx, op.left) or _contradictory(
+            op.predicate, self.ctx, op.right
+        ):
+            return RowBounds(0.0, 0.0)
+        return RowBounds(0.0, hi)
+
+    def _derive_gbagg(self, op: GbAgg) -> RowBounds:
+        child = self.derive(op.child)
+        if not op.group_by:
+            return RowBounds(1.0, 1.0)  # scalar aggregate: always one row
+        lo = 1.0 if child.lo > 0 else 0.0
+        return RowBounds(lo, child.hi)
+
+    def _derive_union_all(self, op: LogicalOp) -> RowBounds:
+        left, right = (self.derive(child) for child in op.children)
+        return RowBounds(left.lo + right.lo, left.hi + right.hi)
+
+    def _derive_union(self, op: LogicalOp) -> RowBounds:
+        left, right = (self.derive(child) for child in op.children)
+        lo = 1.0 if (left.lo + right.lo) > 0 else 0.0
+        return RowBounds(lo, left.hi + right.hi)
+
+    def _derive_intersect(self, op: LogicalOp) -> RowBounds:
+        left, right = (self.derive(child) for child in op.children)
+        return RowBounds(0.0, min(left.hi, right.hi))
+
+    def _derive_except(self, op: LogicalOp) -> RowBounds:
+        left = self.derive(op.children[0])
+        self.derive(op.children[1])
+        return RowBounds(0.0, left.hi)
+
+    def _derive_distinct(self, op: LogicalOp) -> RowBounds:
+        (child_op,) = op.children
+        child = self.derive(child_op)
+        lo = 1.0 if child.lo > 0 else 0.0
+        return RowBounds(lo, child.hi)
+
+    def _derive_limit(self, op: Limit) -> RowBounds:
+        (child_op,) = op.children
+        child = self.derive(child_op)
+        count = float(op.count)
+        return RowBounds(min(child.lo, count), min(child.hi, count))
+
+    _HANDLERS = {
+        OpKind.GET: _derive_get,
+        OpKind.SELECT: _derive_select,
+        OpKind.PROJECT: _derive_passthrough,
+        OpKind.JOIN: _derive_join,
+        OpKind.GB_AGG: _derive_gbagg,
+        OpKind.UNION_ALL: _derive_union_all,
+        OpKind.UNION: _derive_union,
+        OpKind.INTERSECT: _derive_intersect,
+        OpKind.EXCEPT: _derive_except,
+        OpKind.DISTINCT: _derive_distinct,
+        OpKind.SORT: _derive_passthrough,
+        OpKind.LIMIT: _derive_limit,
+    }

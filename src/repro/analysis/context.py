@@ -1,0 +1,54 @@
+"""A tree-mode :class:`RuleContext` for static analysis.
+
+Rule preconditions and substitutions were written against the optimizer's
+memo-backed context; the analyzer applies rules to plain logical trees
+(no memo, no execution), so it supplies the same services -- derived
+properties and cardinality estimates -- straight from the deriver and
+estimator, memoized per node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.catalog.schema import Catalog
+from repro.catalog.stats import StatsRepository
+from repro.logical.cardinality import CardinalityEstimator, RelEstimate
+from repro.logical.operators import LogicalOp
+from repro.logical.properties import LogicalProps, PropertyDeriver
+from repro.rules.framework import RuleContext
+
+
+class TreeContext(RuleContext):
+    """Rule services over plain logical trees (no memo involved)."""
+
+    def __init__(self, catalog: Catalog, stats: StatsRepository) -> None:
+        self._catalog = catalog
+        self.deriver = PropertyDeriver(catalog)
+        self.estimator = CardinalityEstimator(catalog, stats)
+        # Keyed by id(); the node is retained in the value so a recycled
+        # id can never alias a live entry.
+        self._props: Dict[int, Tuple[LogicalOp, LogicalProps]] = {}
+        self._estimates: Dict[int, Tuple[LogicalOp, RelEstimate]] = {}
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    def props(self, node: LogicalOp) -> LogicalProps:
+        cached = self._props.get(id(node))
+        if cached is not None and cached[0] is node:
+            return cached[1]
+        child_props = tuple(self.props(child) for child in node.children)
+        props = self.deriver.derive(node, child_props)
+        self._props[id(node)] = (node, props)
+        return props
+
+    def estimate(self, node: LogicalOp) -> RelEstimate:
+        cached = self._estimates.get(id(node))
+        if cached is not None and cached[0] is node:
+            return cached[1]
+        children = tuple(self.estimate(child) for child in node.children)
+        estimate = self.estimator.estimate(node, children)
+        self._estimates[id(node)] = (node, estimate)
+        return estimate

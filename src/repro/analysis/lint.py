@@ -1,0 +1,370 @@
+"""Pass 1: registry lint.
+
+Structural checks over the rule registry that need no binding synthesis:
+
+* **RL101** pattern arity: every non-generic pattern node must have exactly
+  as many children as the operator it names (a mismatched node can never
+  structurally match, so the rule is dead by construction);
+* **RL102** pattern XML round-trip: ``pattern_from_xml(pattern_to_xml(p))``
+  must reproduce ``p`` -- the XML export is the interface the query
+  generator consumes, so a lossy round-trip silently breaks generation;
+* **RL103** rule naming: empty or non-identifier names break the registry's
+  name-keyed APIs and CLI selection;
+* **RL110** duplicate patterns (INFO): two rules with identical patterns
+  are normal when preconditions differ, but worth surfacing;
+* **RL111** subsumed patterns (INFO): one rule's pattern matches strictly
+  more trees than another's;
+* **RL120** dead pattern (WARNING): no binding could be synthesized from
+  the pattern against any bundled workload schema;
+* **RL121** dead precondition (WARNING): bindings were synthesized but the
+  precondition rejected every one of them;
+* **RL130/131/132** documentation drift (WARNING): ``docs/RULES.md`` is
+  missing a rule, documents a rule the registry no longer has, or shows a
+  stale pattern.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.context import TreeContext
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.logical.operators import LogicalOp, OpKind
+from repro.logical.validate import ValidationError, validate_tree
+from repro.rules.framework import (
+    PatternNode,
+    Rule,
+    match_structure,
+    pattern_from_xml,
+    pattern_to_xml,
+)
+from repro.rules.registry import RuleRegistry
+from repro.testing.builders import GenerationFailure
+from repro.testing.pattern_gen import PatternInstantiator, merge_hints
+
+#: Children each operator kind takes; a non-generic pattern node whose child
+#: count differs can never match (see ``match_structure``).
+OP_ARITY = {
+    OpKind.GET: 0,
+    OpKind.SELECT: 1,
+    OpKind.PROJECT: 1,
+    OpKind.GB_AGG: 1,
+    OpKind.DISTINCT: 1,
+    OpKind.SORT: 1,
+    OpKind.LIMIT: 1,
+    OpKind.JOIN: 2,
+    OpKind.UNION_ALL: 2,
+    OpKind.UNION: 2,
+    OpKind.INTERSECT: 2,
+    OpKind.EXCEPT: 2,
+}
+
+
+def pattern_subsumes(wider: PatternNode, narrower: PatternNode) -> bool:
+    """Does every tree matching ``narrower`` also match ``wider``?"""
+    if wider.is_generic:
+        return True
+    if narrower.is_generic:
+        return False
+    if wider.kind is not narrower.kind:
+        return False
+    if wider.kind is OpKind.JOIN:
+        if wider.join_kinds is not None:
+            if narrower.join_kinds is None:
+                return False
+            if not set(narrower.join_kinds) <= set(wider.join_kinds):
+                return False
+    if len(wider.children) != len(narrower.children):
+        # Arity differences make the narrower pattern match trees the wider
+        # one cannot (or vice versa); treat as incomparable.
+        return False
+    return all(
+        pattern_subsumes(w, n)
+        for w, n in zip(wider.children, narrower.children)
+    )
+
+
+class RegistryLinter:
+    """Structural lint over a rule registry."""
+
+    def __init__(
+        self,
+        registry: RuleRegistry,
+        workloads: Optional[Sequence] = None,
+        samples_per_workload: int = 6,
+        seed: int = 0,
+        docs_path: Optional[Path] = None,
+    ) -> None:
+        from repro.analysis.verify import default_workloads
+
+        self.registry = registry
+        self.workloads = list(
+            workloads if workloads is not None else default_workloads()
+        )
+        self.samples = samples_per_workload
+        self.seed = seed
+        self.docs_path = docs_path
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> AnalysisReport:
+        report = AnalysisReport()
+        for rule in self.registry.all_rules:
+            self._lint_pattern(report, rule)
+            self._lint_name(report, rule)
+            report.count("rules_linted")
+        self._lint_duplicates(report)
+        self._lint_liveness(report)
+        if self.docs_path is not None:
+            self._lint_docs(report)
+        return report
+
+    # ----------------------------------------------------------- structural
+
+    def _lint_pattern(self, report: AnalysisReport, rule: Rule) -> None:
+        for node, path in _walk_pattern(rule.pattern):
+            if node.is_generic:
+                continue
+            expected = OP_ARITY.get(node.kind)
+            if expected is None:
+                report.add(
+                    Diagnostic(
+                        "RL101",
+                        Severity.ERROR,
+                        f"pattern node has unknown operator kind {node.kind}",
+                        rule=rule.name,
+                        location=path,
+                    )
+                )
+            elif len(node.children) != expected:
+                report.add(
+                    Diagnostic(
+                        "RL101",
+                        Severity.ERROR,
+                        f"pattern node {node.kind.value} has "
+                        f"{len(node.children)} children but the operator "
+                        f"takes {expected}; the rule can never match",
+                        rule=rule.name,
+                        location=path,
+                    )
+                )
+        try:
+            round_tripped = pattern_from_xml(pattern_to_xml(rule.pattern))
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            report.add(
+                Diagnostic(
+                    "RL102",
+                    Severity.ERROR,
+                    f"pattern XML round-trip raised "
+                    f"{type(exc).__name__}: {exc}",
+                    rule=rule.name,
+                )
+            )
+            return
+        if round_tripped != rule.pattern:
+            report.add(
+                Diagnostic(
+                    "RL102",
+                    Severity.ERROR,
+                    "pattern XML round-trip is lossy: "
+                    f"{rule.pattern} became {round_tripped}",
+                    rule=rule.name,
+                )
+            )
+
+    def _lint_name(self, report: AnalysisReport, rule: Rule) -> None:
+        if not rule.name or not rule.name.isidentifier():
+            report.add(
+                Diagnostic(
+                    "RL103",
+                    Severity.ERROR,
+                    f"rule name {rule.name!r} is not a valid identifier",
+                    rule=rule.name or type(rule).__name__,
+                )
+            )
+
+    def _lint_duplicates(self, report: AnalysisReport) -> None:
+        rules = self.registry.all_rules
+        by_pattern: Dict[str, List[Rule]] = {}
+        for rule in rules:
+            by_pattern.setdefault(str(rule.pattern), []).append(rule)
+        for pattern_str, group in sorted(by_pattern.items()):
+            exploration = [r for r in group if r.is_exploration]
+            if len(exploration) > 1:
+                names = ", ".join(sorted(r.name for r in exploration))
+                report.add(
+                    Diagnostic(
+                        "RL110",
+                        Severity.INFO,
+                        f"rules {names} share the pattern `{pattern_str}` "
+                        "(fine when their preconditions differ)",
+                        rule=sorted(r.name for r in exploration)[0],
+                    )
+                )
+        for wider in rules:
+            for narrower in rules:
+                if wider is narrower:
+                    continue
+                if wider.is_exploration != narrower.is_exploration:
+                    continue
+                if str(wider.pattern) == str(narrower.pattern):
+                    continue  # exact duplicates reported as RL110
+                # A shallow pattern trivially subsumes every deeper one
+                # through its generic leaves; only same-shape subsumption
+                # (a strictly wider join-kind set) is worth surfacing.
+                if wider.pattern.size() != narrower.pattern.size():
+                    continue
+                if pattern_subsumes(
+                    wider.pattern, narrower.pattern
+                ) and not wider.pattern.is_generic:
+                    report.add(
+                        Diagnostic(
+                            "RL111",
+                            Severity.INFO,
+                            f"pattern `{wider.pattern}` subsumes "
+                            f"{narrower.name}'s `{narrower.pattern}`",
+                            rule=wider.name,
+                        )
+                    )
+
+    # ------------------------------------------------------------- liveness
+
+    def _lint_liveness(self, report: AnalysisReport) -> None:
+        for rule in self.registry.all_rules:
+            bindings = self._sample_bindings(rule)
+            if not bindings:
+                report.add(
+                    Diagnostic(
+                        "RL120",
+                        Severity.WARNING,
+                        "no binding could be synthesized from the pattern "
+                        "against any bundled workload schema; the rule "
+                        "may be dead",
+                        rule=rule.name,
+                    )
+                )
+                continue
+            passed = 0
+            for context, tree in bindings:
+                try:
+                    if rule.precondition(tree, context):
+                        passed += 1
+                except Exception:  # noqa: BLE001 - verify pass reports SV201
+                    continue
+            if passed == 0:
+                report.add(
+                    Diagnostic(
+                        "RL121",
+                        Severity.WARNING,
+                        f"precondition rejected all {len(bindings)} "
+                        "synthesized bindings; the rule may never fire",
+                        rule=rule.name,
+                    )
+                )
+
+    def _sample_bindings(
+        self, rule: Rule
+    ) -> List[Tuple[TreeContext, LogicalOp]]:
+        hints = merge_hints([rule])
+        bindings: List[Tuple[TreeContext, LogicalOp]] = []
+        for workload_name, catalog, stats in self.workloads:
+            context = TreeContext(catalog, stats)
+            for index in range(self.samples):
+                rng = random.Random(
+                    f"lint:{self.seed}:{rule.name}:{workload_name}:{index}"
+                )
+                instantiator = PatternInstantiator(catalog, rng, stats)
+                try:
+                    tree = instantiator.instantiate(rule.pattern, hints)
+                except GenerationFailure:
+                    continue
+                except Exception:  # noqa: BLE001 - malformed patterns crash
+                    continue       # the generator; RL101/RL120 report them
+                if not match_structure(tree, rule.pattern):
+                    continue
+                try:
+                    validate_tree(tree, catalog)
+                except ValidationError:
+                    continue
+                bindings.append((context, tree))
+        return bindings
+
+    # ----------------------------------------------------------------- docs
+
+    def _lint_docs(self, report: AnalysisReport) -> None:
+        if not self.docs_path.exists():
+            report.add(
+                Diagnostic(
+                    "RL130",
+                    Severity.WARNING,
+                    f"rule catalog {self.docs_path} does not exist "
+                    "(run tools/generate_rule_docs.py)",
+                )
+            )
+            return
+        text = self.docs_path.read_text()
+        documented = _parse_rule_docs(text)
+        registry_names = {rule.name for rule in self.registry.all_rules}
+        for rule in self.registry.all_rules:
+            entry = documented.get(rule.name)
+            if entry is None:
+                report.add(
+                    Diagnostic(
+                        "RL130",
+                        Severity.WARNING,
+                        f"rule is missing from {self.docs_path.name} "
+                        "(run tools/generate_rule_docs.py)",
+                        rule=rule.name,
+                    )
+                )
+                continue
+            if entry != str(rule.pattern):
+                report.add(
+                    Diagnostic(
+                        "RL132",
+                        Severity.WARNING,
+                        f"documented pattern `{entry}` is stale; the "
+                        f"registry has `{rule.pattern}` "
+                        "(run tools/generate_rule_docs.py)",
+                        rule=rule.name,
+                    )
+                )
+        for name in sorted(set(documented) - registry_names):
+            report.add(
+                Diagnostic(
+                    "RL131",
+                    Severity.WARNING,
+                    f"{self.docs_path.name} documents {name!r}, which is "
+                    "not in the registry (run tools/generate_rule_docs.py)",
+                    rule=name,
+                )
+            )
+
+
+def _walk_pattern(pattern: PatternNode, path: str = "root"):
+    yield pattern, path
+    for index, child in enumerate(pattern.children):
+        yield from _walk_pattern(child, f"{path}.{index}")
+
+
+_HEADING = re.compile(r"^### (\w+)\s*$")
+_PATTERN_LINE = re.compile(r"^- pattern: `(.+)`\s*$")
+
+
+def _parse_rule_docs(text: str) -> Dict[str, Optional[str]]:
+    """Map documented rule name -> documented pattern string (or None)."""
+    documented: Dict[str, Optional[str]] = {}
+    current: Optional[str] = None
+    for line in text.splitlines():
+        heading = _HEADING.match(line)
+        if heading:
+            current = heading.group(1)
+            documented[current] = None
+            continue
+        pattern = _PATTERN_LINE.match(line)
+        if pattern and current is not None and documented[current] is None:
+            documented[current] = pattern.group(1)
+    return documented

@@ -1,0 +1,361 @@
+"""Pass 3: the plan sanitizer.
+
+Invariant checks the optimizer can run on itself, wired into
+:mod:`repro.optimizer.engine` behind ``OptimizerConfig.sanitize_plans``
+(off by default -- zero overhead unless enabled):
+
+* **SA301** every column an inserted memo expression references must be
+  produced by its child groups;
+* **SA302** an expression's derived output schema must equal its group's
+  (a substitution that lands a different-schema expression in a group
+  corrupts every plan extracted through it);
+* **SA303** every physical operator's ordering requirements must be
+  satisfied by what its children provide (e.g. a MergeJoin over unsorted
+  input);
+* **SA304** every costed operator must have a finite, non-negative cost;
+* **SA306** the final physical plan must resolve all column references
+  bottom-up and produce the query's output columns.
+
+**SA305** is the cross-run monotonicity invariant ``Cost(q) <=
+Cost(q, not R)`` -- disabling rules can only remove alternatives, so the
+unrestricted optimizer must never pick a costlier plan than a restricted
+one.  It cannot be checked inside a single optimization;
+:class:`MonotonicityGuard` is the assertion hook callers feed with
+(base cost, restricted cost) pairs.
+
+All violations raise :class:`PlanSanityError` (an
+:class:`~repro.optimizer.result.OptimizationError`), so a corrupted
+rewrite fails the optimization instead of silently producing a wrong
+plan.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.catalog.schema import Catalog
+from repro.expr.expressions import Column, referenced_columns
+from repro.logical.operators import (
+    GbAgg,
+    GroupRef,
+    Join,
+    LogicalOp,
+    OpKind,
+    Project,
+    Select,
+    Sort as LogicalSort,
+    is_set_op,
+)
+from repro.logical.properties import PropertyDeriver
+from repro.optimizer.result import OptimizationError
+from repro.physical.operators import (
+    ComputeScalar,
+    Filter,
+    HashJoin,
+    MergeJoin,
+    Ordering,
+    PhysicalOp,
+    PhysOpKind,
+    Sort as PhysicalSort,
+    Top,
+    ordering_satisfies,
+)
+
+
+class PlanSanityError(OptimizationError):
+    """A sanitizer invariant was violated."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+def _op_referenced_columns(op: LogicalOp) -> Iterable[Column]:
+    """Columns the operator's own arguments reference (children excluded)."""
+    if isinstance(op, (Select, Join)):
+        return referenced_columns(op.predicate)
+    if isinstance(op, Project):
+        refs: List[Column] = []
+        for _, expr in op.outputs:
+            refs.extend(referenced_columns(expr))
+        return refs
+    if isinstance(op, GbAgg):
+        refs = list(op.group_by)
+        for _, call in op.aggregates:
+            if call.argument is not None:
+                refs.extend(referenced_columns(call.argument))
+        return refs
+    if is_set_op(op):
+        return tuple(op.left_columns) + tuple(op.right_columns)
+    if isinstance(op, LogicalSort):
+        return tuple(key.column for key in op.keys)
+    return ()
+
+
+class PlanSanitizer:
+    """Invariant checks over memo insertions and extracted physical plans."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._deriver = PropertyDeriver(catalog)
+        #: Number of invariant checks performed (for overhead accounting
+        #: and the off-by-default test).
+        self.checks = 0
+
+    # ------------------------------------------------------ memo insertions
+
+    def check_group_expr(self, expr, memo, rule_name: Optional[str] = None) -> None:
+        """Validate one memo-form group expression a substitution inserted.
+
+        ``expr.op``'s children are :class:`GroupRef` leaves; the expression
+        must only reference columns its child groups produce (SA301) and
+        must derive the same output schema as its group (SA302).
+        """
+        self.checks += 1
+        op = expr.op
+        origin = f" (inserted by rule {rule_name})" if rule_name else ""
+        available: Set[int] = set()
+        child_props = []
+        for child in op.children:
+            if not isinstance(child, GroupRef):
+                raise PlanSanityError(
+                    "SA301",
+                    f"memo expression {op.describe()} has a non-GroupRef "
+                    f"child{origin}",
+                )
+            props = memo.group(child.group_id).props
+            child_props.append(props)
+            available.update(props.column_ids)
+        for column in _op_referenced_columns(op):
+            if op.children and column.cid not in available:
+                raise PlanSanityError(
+                    "SA301",
+                    f"{op.describe()} references column "
+                    f"{column.qualified_name}#{column.cid}, which no child "
+                    f"group produces{origin}",
+                )
+        derived = self._deriver.derive(op, tuple(child_props))
+        group_props = memo.group(expr.group_id).props
+        if derived.column_ids != group_props.column_ids:
+            raise PlanSanityError(
+                "SA302",
+                f"{op.describe()} derives output columns "
+                f"{sorted(derived.column_ids)} but its group's schema is "
+                f"{sorted(group_props.column_ids)}{origin}",
+            )
+
+    # ---------------------------------------------------------------- costs
+
+    def check_cost(self, op: PhysicalOp, cost: float) -> None:
+        """SA304: a costed physical alternative must have a sane cost."""
+        self.checks += 1
+        if math.isnan(cost) or cost < 0.0:
+            raise PlanSanityError(
+                "SA304",
+                f"{op.describe()} was costed at {cost!r}; costs must be "
+                "finite and non-negative",
+            )
+
+    # ---------------------------------------------------------- final plans
+
+    def check_plan(
+        self, plan: PhysicalOp, output_columns: Tuple[Column, ...]
+    ) -> None:
+        """Validate a fully extracted physical plan bottom-up.
+
+        Checks column-reference resolution (SA301), ordering requirements
+        (SA303) and output completeness (SA306).
+        """
+        self.checks += 1
+        available, _provided = self._check_node(plan)
+        missing = [
+            column
+            for column in output_columns
+            if column.cid not in available
+        ]
+        if missing:
+            names = ", ".join(c.qualified_name for c in missing)
+            raise PlanSanityError(
+                "SA306",
+                f"final plan does not produce required output column(s) "
+                f"{names}",
+            )
+
+    def _check_node(
+        self, op: PhysicalOp
+    ) -> Tuple[FrozenSet[int], Ordering]:
+        child_results = [
+            self._check_node(child)
+            for child in op.children
+            if isinstance(child, PhysicalOp)
+        ]
+        if len(child_results) != len(op.children):
+            raise PlanSanityError(
+                "SA301",
+                f"{op.describe()} has an unextracted (non-physical) child",
+            )
+        child_columns = [columns for columns, _ in child_results]
+        child_orderings = tuple(ordering for _, ordering in child_results)
+
+        requirements = op.required_child_orderings()
+        for index, (required, provided) in enumerate(
+            zip(requirements, child_orderings)
+        ):
+            if not ordering_satisfies(provided, required):
+                raise PlanSanityError(
+                    "SA303",
+                    f"{op.describe()} requires child {index} ordered by "
+                    f"{required} but the child provides {provided}",
+                )
+
+        available = self._available_columns(op, child_columns)
+        provided = op.provided_ordering(child_orderings)
+        return available, provided
+
+    def _available_columns(
+        self, op: PhysicalOp, child_columns: List[FrozenSet[int]]
+    ) -> FrozenSet[int]:
+        kind = op.kind
+
+        def require(columns: Iterable[Column], scope: FrozenSet[int], what: str):
+            for column in columns:
+                if column.cid not in scope:
+                    raise PlanSanityError(
+                        "SA301",
+                        f"{op.describe()}: {what} references column "
+                        f"{column.qualified_name}#{column.cid}, which its "
+                        "input does not produce",
+                    )
+
+        if kind is PhysOpKind.TABLE_SCAN:
+            return frozenset(column.cid for column in op.columns)
+        if kind is PhysOpKind.FILTER:
+            assert isinstance(op, Filter)
+            (child,) = child_columns
+            require(referenced_columns(op.predicate), child, "predicate")
+            return child
+        if kind is PhysOpKind.COMPUTE_SCALAR:
+            assert isinstance(op, ComputeScalar)
+            (child,) = child_columns
+            for _, expr in op.outputs:
+                require(referenced_columns(expr), child, "output expression")
+            return frozenset(column.cid for column in op.output_columns)
+        if kind is PhysOpKind.NESTED_LOOPS_JOIN:
+            left, right = child_columns
+            require(
+                referenced_columns(op.predicate), left | right, "predicate"
+            )
+            if not op.join_kind.preserves_right_columns:
+                return left
+            return left | right
+        if kind is PhysOpKind.HASH_JOIN:
+            assert isinstance(op, HashJoin)
+            left, right = child_columns
+            require(op.left_keys, left, "left keys")
+            require(op.right_keys, right, "right keys")
+            require(referenced_columns(op.residual), left | right, "residual")
+            if not op.join_kind.preserves_right_columns:
+                return left
+            return left | right
+        if kind is PhysOpKind.MERGE_JOIN:
+            assert isinstance(op, MergeJoin)
+            left, right = child_columns
+            require(op.left_keys, left, "left keys")
+            require(op.right_keys, right, "right keys")
+            require(referenced_columns(op.residual), left | right, "residual")
+            return left | right
+        if kind in (PhysOpKind.HASH_AGGREGATE, PhysOpKind.STREAM_AGGREGATE):
+            (child,) = child_columns
+            require(op.group_by, child, "grouping")
+            for _, call in op.aggregates:
+                if call.argument is not None:
+                    require(
+                        referenced_columns(call.argument),
+                        child,
+                        "aggregate argument",
+                    )
+            return frozenset(column.cid for column in op.output_columns)
+        if kind is PhysOpKind.SORT:
+            assert isinstance(op, PhysicalSort)
+            (child,) = child_columns
+            require((key.column for key in op.keys), child, "sort key")
+            return child
+        if kind in (
+            PhysOpKind.CONCAT,
+            PhysOpKind.HASH_UNION,
+            PhysOpKind.HASH_INTERSECT,
+            PhysOpKind.HASH_EXCEPT,
+        ):
+            left, right = child_columns
+            require(op.left_columns, left, "left input columns")
+            require(op.right_columns, right, "right input columns")
+            return frozenset(column.cid for column in op.output_columns)
+        if kind is PhysOpKind.HASH_DISTINCT:
+            (child,) = child_columns
+            return child
+        if kind is PhysOpKind.TOP:
+            assert isinstance(op, Top)
+            (child,) = child_columns
+            return child
+        raise PlanSanityError(
+            "SA301", f"unknown physical operator kind {kind}"
+        )
+
+
+class MonotonicityGuard:
+    """Assertion hook for ``Cost(q) <= Cost(q, not R)`` (SA305).
+
+    Disabling rules only removes alternatives from the search space, so the
+    unrestricted optimizer must never pick a plan costlier than a restricted
+    run's.  Feed the guard one :meth:`observe` call per (query, disabled
+    rule set) pair; violations are collected as diagnostics, and
+    :meth:`assert_ok` turns them into a hard failure.
+
+    The invariant only applies to *complete* searches: when either run hit
+    an exploration budget cap (``OptimizeResult.stats.budget_exhausted``)
+    the unrestricted space is truncated rather than a superset, and callers
+    must not feed the pair to the guard.
+
+    A small relative tolerance absorbs float accumulation-order noise.
+    """
+
+    def __init__(self, tolerance: float = 1e-9) -> None:
+        self.tolerance = tolerance
+        self.violations: List[Diagnostic] = []
+        self.observations = 0
+
+    def observe(
+        self,
+        query_label: str,
+        base_cost: float,
+        restricted_cost: float,
+        disabled: Iterable[str] = (),
+    ) -> bool:
+        """Record one comparison; returns True when the invariant holds."""
+        self.observations += 1
+        if base_cost <= restricted_cost * (1.0 + self.tolerance):
+            return True
+        rules = ", ".join(sorted(disabled)) or "-"
+        self.violations.append(
+            Diagnostic(
+                code="SA305",
+                severity=Severity.ERROR,
+                message=(
+                    f"Cost(q)={base_cost:.4f} exceeds "
+                    f"Cost(q, not {{{rules}}})={restricted_cost:.4f}: "
+                    "disabling rules produced a cheaper plan"
+                ),
+                location=query_label,
+            )
+        )
+        return False
+
+    def assert_ok(self) -> None:
+        if self.violations:
+            raise PlanSanityError(
+                "SA305",
+                f"{len(self.violations)} monotonicity violation(s); "
+                f"first: {self.violations[0].message}",
+            )

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.engine import execute_plan, explain_analyze
 from repro.optimizer.engine import Optimizer
+from repro.rules.faults import ALL_FAULTS
 from repro.rules.registry import default_registry
 from repro.sql.binder import sql_to_tree
 from repro.testing.compression import (
@@ -121,6 +122,39 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--k", type=int, default=3)
     campaign.add_argument(
         "--output", help="write the markdown report to this file"
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="static analysis: lint the registry and verify substitutions "
+        "symbolically (see docs/ANALYSIS.md)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    analyze.add_argument(
+        "--seeds", type=int, default=6,
+        help="bindings synthesized per rule per workload",
+    )
+    analyze.add_argument(
+        "--skip-lint", action="store_true", help="skip the registry lint"
+    )
+    analyze.add_argument(
+        "--skip-verify", action="store_true",
+        help="skip symbolic substitution verification",
+    )
+    analyze.add_argument(
+        "--plans", type=int, default=0, metavar="N",
+        help="additionally optimize N random queries with the plan "
+        "sanitizer enabled and assert cost monotonicity",
+    )
+    analyze.add_argument(
+        "--fault", choices=sorted(ALL_FAULTS),
+        help="replace a rule with its seeded buggy variant before analyzing",
+    )
+    analyze.add_argument(
+        "--fail-on", choices=["error", "warning"], default="error",
+        help="lowest severity that makes the exit code non-zero",
     )
 
     return parser
@@ -285,7 +319,131 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(text)
         return 0 if result.passed else 1
 
+    if args.command == "analyze":
+        from pathlib import Path
+
+        from repro.analysis import (
+            AnalysisReport,
+            RegistryLinter,
+            Severity,
+            SubstitutionVerifier,
+            default_workloads,
+        )
+
+        analysis_registry = registry
+        if args.fault:
+            analysis_registry = registry.with_replaced_rule(
+                ALL_FAULTS[args.fault]()
+            )
+        workloads = default_workloads(seed=args.seed or 1)
+        docs_path = Path(__file__).resolve().parents[2] / "docs" / "RULES.md"
+        report = AnalysisReport()
+        if not args.skip_lint:
+            linter = RegistryLinter(
+                analysis_registry,
+                workloads,
+                samples_per_workload=args.seeds,
+                seed=args.seed,
+                docs_path=docs_path if docs_path.exists() else None,
+            )
+            report.merge(linter.run())
+        if not args.skip_verify:
+            verifier = SubstitutionVerifier(
+                analysis_registry,
+                workloads,
+                samples_per_workload=args.seeds,
+                seed=args.seed,
+            )
+            report.merge(verifier.run())
+        if args.plans:
+            report.merge(
+                _sanitized_plan_smoke(
+                    database, analysis_registry, args.plans, args.seed
+                )
+            )
+        if args.json:
+            print(report.to_json())
+        else:
+            print(report.to_text())
+        threshold = (
+            Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+        )
+        return 1 if report.at_or_above(threshold) else 0
+
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def _sanitized_plan_smoke(database, registry, count: int, seed: int):
+    """Optimize random queries with the plan sanitizer on, and assert cost
+    monotonicity against single-rule-disabled re-optimizations."""
+    from repro.analysis import (
+        AnalysisReport,
+        Diagnostic,
+        MonotonicityGuard,
+        PlanSanityError,
+        Severity,
+    )
+    from repro.optimizer.config import OptimizerConfig
+    from repro.optimizer.result import OptimizationError
+    from repro.testing.builders import GenerationFailure
+    from repro.testing.random_gen import RandomQueryGenerator
+
+    stats = database.stats_repository()
+    generator = RandomQueryGenerator(database.catalog, seed=seed, stats=stats)
+    config = OptimizerConfig(sanitize_plans=True)
+    optimizer = Optimizer(database.catalog, stats, registry, config)
+    exploration = {rule.name for rule in registry.exploration_rules}
+    guard = MonotonicityGuard()
+    report = AnalysisReport()
+    produced = 0
+    attempts = 0
+    while produced < count and attempts < count * 4:
+        attempts += 1
+        try:
+            tree = generator.random_tree()
+        except GenerationFailure:
+            continue
+        try:
+            base = optimizer.optimize(tree)
+        except PlanSanityError as exc:
+            report.add(
+                Diagnostic(
+                    code=exc.code,
+                    severity=Severity.ERROR,
+                    message=str(exc),
+                    location=f"plan {produced}",
+                )
+            )
+            produced += 1
+            continue
+        except OptimizationError:
+            continue
+        produced += 1
+        report.count("plans_sanitized")
+        for rule_name in sorted(base.rules_exercised & exploration)[:3]:
+            restricted_optimizer = Optimizer(
+                database.catalog,
+                stats,
+                registry,
+                config.with_disabled([rule_name]),
+            )
+            try:
+                restricted = restricted_optimizer.optimize(tree)
+            except OptimizationError:
+                continue
+            if (
+                base.stats.budget_exhausted
+                or restricted.stats.budget_exhausted
+            ):
+                # A truncated search space is not a superset of the
+                # restricted one, so the invariant does not apply.
+                continue
+            guard.observe(
+                f"query {produced}", base.cost, restricted.cost, (rule_name,)
+            )
+            report.count("monotonicity_checks")
+    report.extend(guard.violations)
+    return report
 
 
 if __name__ == "__main__":

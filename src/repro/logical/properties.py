@@ -28,6 +28,7 @@ from repro.expr.expressions import (
     ComparisonOp,
     Expr,
     conjuncts,
+    is_nullable,
     referenced_columns,
 )
 from repro.logical.operators import (
@@ -214,11 +215,21 @@ class PropertyDeriver:
     def _derive_project(self, op: Project, child_props) -> LogicalProps:
         (child,) = child_props
         out_cols = op.output_columns
-        out_ids = frozenset(column.cid for column in out_cols)
-        # Keys survive if all their columns pass through unchanged.
-        keys = {key for key in child.keys if key <= out_ids}
+        # An output that is a plain column reference -- a pass-through or a
+        # rename -- inherits the source column's key membership; computed
+        # outputs inherit nothing.
+        image: Dict[int, Column] = {}
+        for column, expr in op.outputs:
+            if isinstance(expr, ColumnRef):
+                image.setdefault(expr.column.cid, column)
+        keys = set()
+        for key in child.keys:
+            if all(cid in image for cid in key):
+                keys.add(frozenset(image[cid].cid for cid in key))
         non_null = frozenset(
-            column for column in child.non_null if column.cid in out_ids
+            column
+            for column, expr in op.outputs
+            if not is_nullable(expr, child.non_null)
         )
         return LogicalProps(
             columns=out_cols, keys=_prune_keys(keys), non_null=non_null
@@ -227,7 +238,18 @@ class PropertyDeriver:
     def _derive_join(self, op: Join, child_props) -> LogicalProps:
         left, right = child_props
         kind = op.join_kind
-        if kind in (JoinKind.SEMI, JoinKind.ANTI):
+        if kind is JoinKind.SEMI:
+            # A surviving left row witnessed a TRUE predicate, so strict
+            # comparisons in it guarantee left-side columns are non-NULL.
+            return LogicalProps(
+                columns=left.columns,
+                keys=left.keys,
+                non_null=left.non_null
+                | self._null_rejected(op.predicate, left),
+            )
+        if kind is JoinKind.ANTI:
+            # Anti-joined rows survive because the predicate *failed*; it
+            # guarantees nothing about their columns.
             return LogicalProps(
                 columns=left.columns, keys=left.keys, non_null=left.non_null
             )
@@ -254,9 +276,18 @@ class PropertyDeriver:
             for rkey in right.keys:
                 keys.add(lkey | rkey)
         if kind is JoinKind.LEFT_OUTER:
-            non_null = left.non_null  # right side may be NULL-extended
+            # Right side may be NULL-extended, and preserved left rows need
+            # not satisfy the predicate, so it contributes nothing.
+            non_null = left.non_null
         else:
-            non_null = left.non_null | right.non_null
+            # Inner/cross joins only emit rows where the predicate held, so
+            # its strict comparisons null-reject columns on both sides.
+            non_null = (
+                left.non_null
+                | right.non_null
+                | self._null_rejected(op.predicate, left)
+                | self._null_rejected(op.predicate, right)
+            )
         return LogicalProps(
             columns=columns, keys=_prune_keys(keys), non_null=non_null
         )
@@ -272,6 +303,14 @@ class PropertyDeriver:
         )
         for column, call in op.aggregates:
             if not call.result_nullable():
+                non_null.add(column)
+            elif op.group_by and call.argument is not None and not is_nullable(
+                call.argument, child.non_null
+            ):
+                # With grouping columns, every emitted group has at least one
+                # row; SUM/MIN/MAX/AVG over a never-NULL argument cannot
+                # return NULL.  (Scalar aggregates can: the input may be
+                # empty.)
                 non_null.add(column)
         return LogicalProps(
             columns=out_cols,

@@ -25,6 +25,10 @@ class OptimizerConfig:
     max_groups: int = 4000
     max_exprs_per_group: int = 64
     max_rule_applications: int = 50_000
+    #: Run the plan sanitizer (see :mod:`repro.analysis.sanitize`) on every
+    #: expression substitutions insert into the memo, every costed physical
+    #: alternative, and the final extracted plan.  Off by default.
+    sanitize_plans: bool = False
 
     def with_disabled(self, names: Iterable[str]) -> "OptimizerConfig":
         """This config with additional rules disabled."""
@@ -33,6 +37,7 @@ class OptimizerConfig:
             max_groups=self.max_groups,
             max_exprs_per_group=self.max_exprs_per_group,
             max_rule_applications=self.max_rule_applications,
+            sanitize_plans=self.sanitize_plans,
         )
 
     def is_disabled(self, rule_name: str) -> bool:

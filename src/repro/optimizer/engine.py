@@ -97,6 +97,12 @@ class Optimizer:
         self.config = config
         self._deriver = PropertyDeriver(catalog)
         self._estimator = CardinalityEstimator(catalog, stats)
+        if config.sanitize_plans:
+            from repro.analysis.sanitize import PlanSanitizer
+
+            self._sanitizer = PlanSanitizer(catalog)
+        else:
+            self._sanitizer = None
 
     # ------------------------------------------------------------------ public
 
@@ -122,6 +128,9 @@ class Optimizer:
 
         # ---------------------------------------------------------- explore
         queue = deque(memo.drain_fresh())
+        if self._sanitizer is not None:
+            for expr in queue:
+                self._sanitizer.check_group_expr(expr, memo)
         active_rules = [
             rule
             for rule in self.registry.exploration_rules
@@ -156,6 +165,7 @@ class Optimizer:
                 if not self.config.is_disabled(rule.name)
             ],
             exercised,
+            sanitizer=self._sanitizer,
         )
         winner = implementer.best_plan(root_id, ())
         if winner is None or winner.cost == INFINITE_COST:
@@ -163,6 +173,8 @@ class Optimizer:
                 "no physical plan found (are implementation rules disabled?)"
             )
         plan = implementer.extract(root_id, ())
+        if self._sanitizer is not None:
+            self._sanitizer.check_plan(plan, output_columns)
 
         stats = MemoStats(
             group_count=len(memo.groups),
@@ -208,6 +220,8 @@ class Optimizer:
         for new_expr in new_exprs:
             if new_expr.created_by is None:
                 new_expr.created_by = rule.name
+            if self._sanitizer is not None:
+                self._sanitizer.check_group_expr(new_expr, memo, rule.name)
         if not produced_any:
             return None
         exercised.add(rule.name)
@@ -227,11 +241,13 @@ class _Implementer:
         ctx: OptimizerContext,
         rules: List[Rule],
         exercised: Set[str],
+        sanitizer=None,
     ) -> None:
         self._memo = memo
         self._ctx = ctx
         self._rules = rules
         self._exercised = exercised
+        self._sanitizer = sanitizer
         self._winners: Dict[Tuple[int, Ordering], Optional[Winner]] = {}
         self._in_progress: Set[Tuple[int, Ordering]] = set()
 
@@ -306,6 +322,8 @@ class _Implementer:
         if not ordering_satisfies(provided, required):
             return None
         cost = local_cost(phys, tuple(child_rows), group.estimate.rows)
+        if self._sanitizer is not None:
+            self._sanitizer.check_cost(phys, cost)
         cost += sum(winner.cost for winner in child_winners)
         return Winner(
             cost=cost,

@@ -88,8 +88,14 @@ class UnionToDistinctUnionAll(Rule):
 
 
 class IntersectToSemiJoin(Rule):
-    """``L INTERSECT R -> Project(Distinct(L SEMI-JOIN R))`` with null-safe
-    per-column equality as the semi-join predicate."""
+    """``L INTERSECT R -> Distinct(Project(L SEMI-JOIN R))`` with null-safe
+    per-column equality as the semi-join predicate.
+
+    The Distinct must sit *above* the projection: deduplicating the full
+    left rows first and projecting afterwards would re-introduce
+    duplicates whenever ``left_columns`` is a strict subset of the left
+    input's columns.
+    """
 
     name = "IntersectToSemiJoin"
     pattern = P(OpKind.INTERSECT, ANY, ANY)
@@ -99,14 +105,18 @@ class IntersectToSemiJoin(Rule):
             binding.left_columns, binding.right_columns
         )
         semi = Join(JoinKind.SEMI, binding.left, binding.right, predicate)
-        deduped = Distinct(semi)
         renames = dict(zip(binding.output_columns, binding.left_columns))
-        yield passthrough_project(deduped, binding.output_columns, renames)
+        projected = passthrough_project(semi, binding.output_columns, renames)
+        yield Distinct(projected)
 
 
 class ExceptToAntiJoin(Rule):
-    """``L EXCEPT R -> Project(Distinct(L ANTI-JOIN R))`` with null-safe
-    per-column equality as the anti-join predicate."""
+    """``L EXCEPT R -> Distinct(Project(L ANTI-JOIN R))`` with null-safe
+    per-column equality as the anti-join predicate.
+
+    As with :class:`IntersectToSemiJoin`, the Distinct must apply to the
+    *projected* columns, not the full left rows.
+    """
 
     name = "ExceptToAntiJoin"
     pattern = P(OpKind.EXCEPT, ANY, ANY)
@@ -116,6 +126,6 @@ class ExceptToAntiJoin(Rule):
             binding.left_columns, binding.right_columns
         )
         anti = Join(JoinKind.ANTI, binding.left, binding.right, predicate)
-        deduped = Distinct(anti)
         renames = dict(zip(binding.output_columns, binding.left_columns))
-        yield passthrough_project(deduped, binding.output_columns, renames)
+        projected = passthrough_project(anti, binding.output_columns, renames)
+        yield Distinct(projected)

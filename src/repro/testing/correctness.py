@@ -63,11 +63,16 @@ class CorrectnessRunner:
         database: Database,
         registry: RuleRegistry,
         config: Optional[OptimizerConfig] = None,
+        monotonicity_guard=None,
     ) -> None:
         self.database = database
         self.registry = registry
         self.config = config or OptimizerConfig()
         self.stats = database.stats_repository()
+        #: Optional :class:`repro.analysis.sanitize.MonotonicityGuard`; when
+        #: set, every baseline/disabled cost pair is asserted against the
+        #: ``Cost(q) <= Cost(q, not R)`` invariant.
+        self.monotonicity_guard = monotonicity_guard
 
     def _optimize(self, query: SuiteQuery, rules_off: RuleNode = ()):
         optimizer = Optimizer(
@@ -83,12 +88,14 @@ class CorrectnessRunner:
         report = CorrectnessReport()
         baseline_results: Dict[int, QueryResult] = {}
         baseline_plans: Dict[int, object] = {}
+        baseline_costs: Dict[int, float] = {}
 
         for query_id in sorted(plan.selected_query_ids):
             query = suite.query(query_id)
             try:
                 result = self._optimize(query)
                 baseline_plans[query_id] = result.plan
+                baseline_costs[query_id] = result.cost
                 baseline_results[query_id] = execute_plan(
                     result.plan, self.database, result.output_columns
                 )
@@ -108,6 +115,13 @@ class CorrectnessRunner:
                         f"query {query_id} ¬{node}: {exc}"
                     )
                     continue
+                if self.monotonicity_guard is not None:
+                    self.monotonicity_guard.observe(
+                        f"query {query_id}",
+                        baseline_costs[query_id],
+                        disabled.cost,
+                        node,
+                    )
                 if disabled.plan == baseline_plans[query_id]:
                     # Identical plans guarantee identical results (paper,
                     # footnote 1): skip execution.

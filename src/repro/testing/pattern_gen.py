@@ -28,8 +28,11 @@ from repro.logical.operators import (
     Intersect,
     Join,
     JoinKind,
+    Limit,
     LogicalOp,
     OpKind,
+    Sort,
+    SortKey,
     Union,
     UnionAll,
 )
@@ -126,7 +129,25 @@ class PatternInstantiator:
         if kind is OpKind.DISTINCT:
             (child,) = children
             return self.builder.make_distinct(child)
+        if kind is OpKind.SORT:
+            (child,) = children
+            return self._make_sort(child)
+        if kind is OpKind.LIMIT:
+            (child,) = children
+            return Limit(child, self.rng.randrange(1, 50))
         raise GenerationFailure(f"cannot instantiate pattern node {kind}")
+
+    def _make_sort(self, child: LogicalOp) -> LogicalOp:
+        columns = list(self.builder.outputs(child))
+        if not columns:
+            raise GenerationFailure("no columns available for sort keys")
+        self.rng.shuffle(columns)
+        count = self.rng.randrange(1, min(3, len(columns)) + 1)
+        keys = tuple(
+            SortKey(column, ascending=self.rng.random() < 0.8)
+            for column in columns[:count]
+        )
+        return Sort(child, keys)
 
     def _pick_hint(self, hints: Hints, key: str, applicable) -> Optional[str]:
         """Pick one applicable candidate hint for ``key`` (random order)."""

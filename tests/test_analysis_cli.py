@@ -1,0 +1,84 @@
+"""Tests for the ``repro analyze`` CLI command and the docs --check mode."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestAnalyzeCommand:
+    def test_clean_registry_exits_zero(self, capsys):
+        assert main(["analyze", "--seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "rules_linted=50" in out
+        assert "rules_verified=50" in out
+
+    def test_injected_fault_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--skip-lint",
+                "--seeds",
+                "3",
+                "--fault",
+                "LojToJoinOnNullReject",
+            ]
+        )
+        assert code == 1
+        assert "SV206" in capsys.readouterr().out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["analyze", "--seeds", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+        assert payload["counters"]["rules_verified"] == 50
+
+    def test_fail_on_warning_threshold(self, capsys):
+        # The clean registry has zero warnings too, so even the stricter
+        # threshold passes.
+        assert main(["analyze", "--seeds", "2", "--fail-on", "warning"]) == 0
+        capsys.readouterr()
+
+    def test_sanitized_plans_smoke(self, capsys):
+        assert main(["analyze", "--skip-lint", "--skip-verify",
+                     "--plans", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "plans_sanitized=2" in out
+
+    def test_skip_flags_skip(self, capsys):
+        assert main(["analyze", "--skip-verify", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rules_verified" not in out
+        assert "rules_linted=50" in out
+
+
+class TestDocsCheckMode:
+    def _run_check(self):
+        return subprocess.run(
+            [sys.executable, "tools/generate_rule_docs.py", "--check"],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+
+    def test_committed_docs_are_current(self):
+        proc = self._run_check()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "up to date" in proc.stdout
+
+    def test_stale_docs_fail_check(self, tmp_path):
+        docs = REPO_ROOT / "docs" / "RULES.md"
+        original = docs.read_text()
+        try:
+            docs.write_text(original + "\nstale trailing line\n")
+            proc = self._run_check()
+            assert proc.returncode == 1
+            assert "STALE" in proc.stdout
+        finally:
+            docs.write_text(original)

@@ -1,0 +1,105 @@
+"""Tests for the shared diagnostic model."""
+
+import json
+
+from repro.analysis import AnalysisReport, Diagnostic, Severity
+
+
+def _diag(code="SV204", severity=Severity.ERROR, rule="SomeRule"):
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message="something is wrong",
+        rule=rule,
+        location="tpch: Distinct",
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank
+        assert Severity.WARNING.rank > Severity.INFO.rank
+
+    def test_at_least(self):
+        assert Severity.ERROR.at_least(Severity.WARNING)
+        assert Severity.WARNING.at_least(Severity.WARNING)
+        assert not Severity.INFO.at_least(Severity.WARNING)
+
+
+class TestDiagnostic:
+    def test_str_includes_code_rule_and_location(self):
+        text = str(_diag())
+        assert "ERROR" in text
+        assert "SV204" in text
+        assert "SomeRule" in text
+        assert "tpch: Distinct" in text
+
+    def test_str_without_rule(self):
+        diag = Diagnostic(
+            code="SA305", severity=Severity.ERROR, message="m"
+        )
+        assert "SA305" in str(diag)
+
+    def test_to_dict_round_trip(self):
+        data = _diag().to_dict()
+        assert data["code"] == "SV204"
+        assert data["severity"] == "error"
+        assert data["rule"] == "SomeRule"
+
+    def test_frozen(self):
+        diag = _diag()
+        try:
+            diag.code = "XX"
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestAnalysisReport:
+    def test_empty_report(self):
+        report = AnalysisReport()
+        assert not report.has_errors
+        assert report.summary() == "0 error(s), 0 warning(s), 0 info"
+
+    def test_add_and_filter(self):
+        report = AnalysisReport()
+        report.add(_diag(severity=Severity.ERROR))
+        report.add(_diag(code="RL120", severity=Severity.WARNING))
+        report.add(_diag(code="RL110", severity=Severity.INFO))
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert report.has_errors
+        assert len(report.at_or_above(Severity.WARNING)) == 2
+        assert [d.code for d in report.by_code("RL120")] == ["RL120"]
+        assert len(report.for_rule("SomeRule")) == 3
+
+    def test_merge_combines_diagnostics_and_counters(self):
+        a = AnalysisReport()
+        a.add(_diag())
+        a.count("rules_linted", 5)
+        b = AnalysisReport()
+        b.add(_diag(code="SV205"))
+        b.count("rules_linted", 3)
+        b.count("bindings_checked", 7)
+        a.merge(b)
+        assert len(a.diagnostics) == 2
+        assert a.counters == {"rules_linted": 8, "bindings_checked": 7}
+
+    def test_to_text_orders_by_severity(self):
+        report = AnalysisReport()
+        report.add(_diag(code="RL110", severity=Severity.INFO))
+        report.add(_diag(code="SV204", severity=Severity.ERROR))
+        text = report.to_text()
+        assert text.index("SV204") < text.index("RL110")
+        assert "1 error(s)" in text
+
+    def test_to_json_is_valid(self):
+        report = AnalysisReport()
+        report.add(_diag())
+        report.count("rules_verified", 1)
+        payload = json.loads(report.to_json())
+        assert payload["summary"]["errors"] == 1
+        assert payload["counters"]["rules_verified"] == 1
+        assert payload["diagnostics"][0]["code"] == "SV204"

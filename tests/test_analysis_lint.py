@@ -1,0 +1,195 @@
+"""Tests for the registry lint pass."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RegistryLinter, Severity, pattern_subsumes
+from repro.analysis.verify import default_workloads
+from repro.logical.operators import JoinKind, OpKind
+from repro.rules.framework import ANY, P, Rule
+from repro.rules.registry import RuleRegistry, default_registry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs" / "RULES.md"
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return default_workloads(seed=1)
+
+
+@pytest.fixture(scope="module")
+def clean_report(workloads):
+    linter = RegistryLinter(
+        default_registry(),
+        workloads,
+        samples_per_workload=4,
+        docs_path=DOCS,
+    )
+    return linter.run()
+
+
+class TestPatternSubsumes:
+    def test_generic_subsumes_everything(self):
+        assert pattern_subsumes(ANY, P(OpKind.SELECT, ANY))
+        assert pattern_subsumes(ANY, ANY)
+
+    def test_specific_does_not_subsume_generic(self):
+        assert not pattern_subsumes(P(OpKind.SELECT, ANY), ANY)
+
+    def test_join_kind_superset(self):
+        wide = P(OpKind.JOIN, ANY, ANY,
+                 join_kinds=(JoinKind.INNER, JoinKind.CROSS))
+        narrow = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,))
+        assert pattern_subsumes(wide, narrow)
+        assert not pattern_subsumes(narrow, wide)
+
+    def test_unrestricted_join_subsumes_restricted(self):
+        assert pattern_subsumes(
+            P(OpKind.JOIN, ANY, ANY),
+            P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.SEMI,)),
+        )
+
+    def test_different_kinds_incomparable(self):
+        assert not pattern_subsumes(
+            P(OpKind.SELECT, ANY), P(OpKind.DISTINCT, ANY)
+        )
+
+
+class TestCleanRegistry:
+    def test_no_errors_or_warnings(self, clean_report):
+        assert clean_report.errors == []
+        assert clean_report.warnings == []
+
+    def test_all_rules_linted(self, clean_report):
+        registry = default_registry()
+        assert clean_report.counters["rules_linted"] == len(
+            registry.all_rules
+        )
+
+    def test_known_duplicate_patterns_reported_as_info(self, clean_report):
+        codes = {d.code for d in clean_report.infos}
+        assert "RL110" in codes  # e.g. DistinctRemoveOnKey / DistinctToGbAgg
+
+
+class _MalformedArity(Rule):
+    name = "MalformedArity"
+    # JOIN takes two children; this pattern can never match.
+    pattern = P(OpKind.JOIN, ANY)
+
+    def substitute(self, binding, ctx):
+        return ()
+
+
+class _NeverFires(Rule):
+    name = "NeverFires"
+    pattern = P(OpKind.SELECT, ANY)
+
+    def precondition(self, binding, ctx):
+        return False
+
+    def substitute(self, binding, ctx):
+        return ()
+
+
+class _BadName(Rule):
+    name = "not a valid identifier!"
+    pattern = P(OpKind.SELECT, ANY)
+
+    def substitute(self, binding, ctx):
+        return ()
+
+
+class TestDefects:
+    def _lint(self, rule, workloads, **kwargs):
+        registry = RuleRegistry([rule], [])
+        return RegistryLinter(
+            registry, workloads, samples_per_workload=3, **kwargs
+        ).run()
+
+    def test_malformed_arity_is_error(self, workloads):
+        report = self._lint(_MalformedArity(), workloads)
+        assert any(d.code == "RL101" for d in report.errors)
+
+    def test_malformed_arity_also_dead(self, workloads):
+        report = self._lint(_MalformedArity(), workloads)
+        assert any(d.code == "RL120" for d in report.warnings)
+
+    def test_dead_precondition_is_warning(self, workloads):
+        report = self._lint(_NeverFires(), workloads)
+        assert any(d.code == "RL121" for d in report.warnings)
+        assert not report.errors
+
+    def test_bad_name_is_error(self, workloads):
+        report = self._lint(_BadName(), workloads)
+        assert any(d.code == "RL103" for d in report.errors)
+
+
+class TestDocsDrift:
+    def test_current_docs_are_in_sync(self, workloads):
+        report = RegistryLinter(
+            default_registry(),
+            workloads,
+            samples_per_workload=1,
+            docs_path=DOCS,
+        ).run()
+        drift = [
+            d
+            for d in report.diagnostics
+            if d.code in ("RL130", "RL131", "RL132")
+        ]
+        assert drift == []
+
+    def test_missing_rule_reported(self, tmp_path, workloads):
+        stale = tmp_path / "RULES.md"
+        stale.write_text(DOCS.read_text().replace(
+            "### JoinCommutativity", "### SomethingElse"
+        ))
+        report = RegistryLinter(
+            default_registry(),
+            workloads,
+            samples_per_workload=1,
+            docs_path=stale,
+        ).run()
+        assert any(
+            d.code == "RL130" and d.rule == "JoinCommutativity"
+            for d in report.warnings
+        )
+        # ...and the renamed heading is an unknown documented rule.
+        assert any(d.code == "RL131" for d in report.warnings)
+
+    def test_stale_pattern_reported(self, tmp_path, workloads):
+        stale = tmp_path / "RULES.md"
+        stale.write_text(DOCS.read_text().replace(
+            "- pattern: `Distinct(?)`", "- pattern: `Distinct(Get)`"
+        ))
+        report = RegistryLinter(
+            default_registry(),
+            workloads,
+            samples_per_workload=1,
+            docs_path=stale,
+        ).run()
+        assert any(d.code == "RL132" for d in report.warnings)
+
+    def test_missing_file_reported(self, tmp_path, workloads):
+        report = RegistryLinter(
+            default_registry(),
+            workloads,
+            samples_per_workload=1,
+            docs_path=tmp_path / "nope.md",
+        ).run()
+        assert any(d.code == "RL130" for d in report.warnings)
+
+    def test_severity_is_warning_not_error(self, tmp_path, workloads):
+        report = RegistryLinter(
+            default_registry(),
+            workloads,
+            samples_per_workload=1,
+            docs_path=tmp_path / "nope.md",
+        ).run()
+        assert all(
+            d.severity is Severity.WARNING
+            for d in report.diagnostics
+            if d.code.startswith("RL13")
+        )

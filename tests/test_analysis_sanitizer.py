@@ -1,0 +1,255 @@
+"""Tests for the plan sanitizer and its optimizer wiring."""
+
+import pytest
+
+from repro.analysis import MonotonicityGuard, PlanSanitizer, PlanSanityError
+from repro.expr.expressions import ColumnRef, Comparison, ComparisonOp
+from repro.logical.operators import (
+    Join,
+    JoinKind,
+    OpKind,
+    Project,
+    Select,
+    make_get,
+)
+from repro.optimizer.config import DEFAULT_CONFIG, OptimizerConfig
+from repro.optimizer.engine import Optimizer
+from repro.physical.operators import MergeJoin, Sort, SortKey, TableScan
+from repro.rules.framework import ANY, P, Rule
+from repro.rules.registry import default_registry
+from repro.testing.random_gen import RandomQueryGenerator
+
+
+def _scan(db, table):
+    get = make_get(db.catalog.table(table))
+    return get, TableScan(get.table, get.columns, get.alias)
+
+
+class TestOffByDefault:
+    def test_default_config_has_no_sanitizer(self, tpch_db, tpch_stats):
+        optimizer = Optimizer(
+            tpch_db.catalog, tpch_stats, default_registry()
+        )
+        assert optimizer._sanitizer is None
+
+    def test_default_config_flag(self):
+        assert DEFAULT_CONFIG.sanitize_plans is False
+
+    def test_with_disabled_preserves_flag(self):
+        config = OptimizerConfig(sanitize_plans=True)
+        assert config.with_disabled(["JoinCommutativity"]).sanitize_plans
+
+
+class TestSanitizedOptimization:
+    """With the flag on, every query the generator produces must optimize
+    without tripping an invariant."""
+
+    def test_random_queries_pass(self, tpch_db, tpch_stats):
+        config = OptimizerConfig(sanitize_plans=True)
+        optimizer = Optimizer(
+            tpch_db.catalog, tpch_stats, default_registry(), config=config
+        )
+        generator = RandomQueryGenerator(tpch_db.catalog, seed=7)
+        for _ in range(5):
+            tree = generator.random_tree()
+            result = optimizer.optimize(tree)
+            assert result.plan is not None
+        assert optimizer._sanitizer.checks > 0
+
+    def test_same_plans_with_and_without(self, tpch_db, tpch_stats):
+        plain = Optimizer(tpch_db.catalog, tpch_stats, default_registry())
+        checked = Optimizer(
+            tpch_db.catalog,
+            tpch_stats,
+            default_registry(),
+            config=OptimizerConfig(sanitize_plans=True),
+        )
+        generator = RandomQueryGenerator(tpch_db.catalog, seed=11)
+        tree = generator.random_tree()
+        assert plain.optimize(tree).cost == checked.optimize(tree).cost
+
+
+class _CorruptingRule(Rule):
+    """Emits a Project that references a column from outside the binding
+    -- exactly the class of bug SA301 exists to catch."""
+
+    name = "SelectMerge"
+    pattern = P(OpKind.SELECT, P(OpKind.SELECT, ANY))
+
+    def __init__(self, foreign_column):
+        self._foreign = foreign_column
+
+    def substitute(self, binding, ctx):
+        outputs = tuple(
+            (c, ColumnRef(c)) for c in ctx.columns(binding)
+        ) + ((self._foreign, ColumnRef(self._foreign)),)
+        yield Project(binding, outputs)
+
+
+class TestCorruptedSubstitution:
+    def test_foreign_column_reference_raises_sa301_or_sa302(
+        self, tpch_db, tpch_stats
+    ):
+        foreign = make_get(tpch_db.catalog.table("region")).columns[0]
+        registry = default_registry().with_replaced_rule(
+            _CorruptingRule(foreign)
+        )
+        optimizer = Optimizer(
+            tpch_db.catalog,
+            tpch_stats,
+            registry,
+            config=OptimizerConfig(sanitize_plans=True),
+        )
+        nation = make_get(tpch_db.catalog.table("nation"))
+        key = nation.columns[0]
+        tree = Select(
+            Select(
+                nation,
+                Comparison(ComparisonOp.GE, ColumnRef(key), ColumnRef(key)),
+            ),
+            Comparison(ComparisonOp.LE, ColumnRef(key), ColumnRef(key)),
+        )
+        with pytest.raises(PlanSanityError) as excinfo:
+            optimizer.optimize(tree)
+        assert excinfo.value.code in ("SA301", "SA302")
+
+
+class TestCheckCost:
+    def test_negative_cost_is_sa304(self, tpch_db):
+        sanitizer = PlanSanitizer(tpch_db.catalog)
+        _, scan = _scan(tpch_db, "region")
+        with pytest.raises(PlanSanityError) as excinfo:
+            sanitizer.check_cost(scan, -1.0)
+        assert excinfo.value.code == "SA304"
+
+    def test_nan_cost_is_sa304(self, tpch_db):
+        sanitizer = PlanSanitizer(tpch_db.catalog)
+        _, scan = _scan(tpch_db, "region")
+        with pytest.raises(PlanSanityError):
+            sanitizer.check_cost(scan, float("nan"))
+
+    def test_infinite_cost_allowed(self, tpch_db):
+        # INFINITE_COST is the engine's "no plan yet" sentinel.
+        sanitizer = PlanSanitizer(tpch_db.catalog)
+        _, scan = _scan(tpch_db, "region")
+        sanitizer.check_cost(scan, float("inf"))
+
+
+class TestCheckPlan:
+    def test_valid_scan_passes(self, tpch_db):
+        sanitizer = PlanSanitizer(tpch_db.catalog)
+        get, scan = _scan(tpch_db, "region")
+        sanitizer.check_plan(scan, get.columns)
+
+    def test_merge_join_over_unsorted_input_is_sa303(self, tpch_db):
+        sanitizer = PlanSanitizer(tpch_db.catalog)
+        nation, nation_scan = _scan(tpch_db, "nation")
+        region, region_scan = _scan(tpch_db, "region")
+        nkey = next(c for c in nation.columns if c.name == "n_regionkey")
+        rkey = next(c for c in region.columns if c.name == "r_regionkey")
+        join = MergeJoin(nation_scan, region_scan, (nkey,), (rkey,))
+        with pytest.raises(PlanSanityError) as excinfo:
+            sanitizer.check_plan(join, nation.columns)
+        assert excinfo.value.code == "SA303"
+
+    def test_merge_join_over_sorted_input_passes(self, tpch_db):
+        sanitizer = PlanSanitizer(tpch_db.catalog)
+        nation, nation_scan = _scan(tpch_db, "nation")
+        region, region_scan = _scan(tpch_db, "region")
+        nkey = next(c for c in nation.columns if c.name == "n_regionkey")
+        rkey = next(c for c in region.columns if c.name == "r_regionkey")
+        join = MergeJoin(
+            Sort(nation_scan, (SortKey(nkey, True),)),
+            Sort(region_scan, (SortKey(rkey, True),)),
+            (nkey,),
+            (rkey,),
+        )
+        sanitizer.check_plan(join, nation.columns)
+
+    def test_missing_output_column_is_sa306(self, tpch_db):
+        sanitizer = PlanSanitizer(tpch_db.catalog)
+        _, region_scan = _scan(tpch_db, "region")
+        foreign = make_get(tpch_db.catalog.table("nation")).columns
+        with pytest.raises(PlanSanityError) as excinfo:
+            sanitizer.check_plan(region_scan, foreign)
+        assert excinfo.value.code == "SA306"
+
+
+class TestMonotonicityGuard:
+    def test_holding_invariant_passes(self):
+        guard = MonotonicityGuard()
+        assert guard.observe("q1", 10.0, 10.0)
+        assert guard.observe("q2", 9.0, 12.0, ["JoinCommutativity"])
+        assert guard.violations == []
+        guard.assert_ok()
+
+    def test_violation_recorded(self):
+        guard = MonotonicityGuard()
+        assert not guard.observe("q1", 12.0, 9.0, ["SelectMerge"])
+        assert len(guard.violations) == 1
+        diag = guard.violations[0]
+        assert diag.code == "SA305"
+        assert "SelectMerge" in diag.message
+        assert guard.observations == 1
+
+    def test_assert_ok_raises(self):
+        guard = MonotonicityGuard()
+        guard.observe("q1", 12.0, 9.0)
+        with pytest.raises(PlanSanityError) as excinfo:
+            guard.assert_ok()
+        assert excinfo.value.code == "SA305"
+
+    def test_tolerance_absorbs_float_noise(self):
+        guard = MonotonicityGuard()
+        assert guard.observe("q1", 10.0 + 1e-12, 10.0)
+
+
+class TestCorrectnessIntegration:
+    def test_runner_feeds_guard(self, tiny_db):
+        from repro.expr.expressions import IsNull
+        from repro.sql.generate import to_sql
+        from repro.testing.compression import top_k_independent_plan
+        from repro.testing.correctness import CorrectnessRunner
+        from repro.testing.suite import CostOracle, SuiteQuery, TestSuite
+
+        registry = default_registry()
+        emp = make_get(tiny_db.catalog.table("emp"))
+        dept = make_get(tiny_db.catalog.table("dept"))
+        loj = Join(
+            JoinKind.LEFT_OUTER,
+            emp,
+            dept,
+            Comparison(
+                ComparisonOp.EQ,
+                ColumnRef(emp.columns[1]),
+                ColumnRef(dept.columns[0]),
+            ),
+        )
+        tree = Select(loj, IsNull(ColumnRef(emp.columns[2])))
+        optimizer = Optimizer(
+            tiny_db.catalog, tiny_db.stats_repository(), registry
+        )
+        result = optimizer.optimize(tree)
+        rule_name = "LojPushSelectLeft"
+        suite = TestSuite(
+            rule_nodes=[(rule_name,)],
+            queries=[
+                SuiteQuery(
+                    query_id=0,
+                    tree=tree,
+                    sql=to_sql(tree),
+                    cost=result.cost,
+                    ruleset=result.rules_exercised,
+                    generated_for=(rule_name,),
+                )
+            ],
+            k=1,
+        )
+        plan = top_k_independent_plan(suite, CostOracle(tiny_db, registry))
+        guard = MonotonicityGuard()
+        report = CorrectnessRunner(
+            tiny_db, registry, monotonicity_guard=guard
+        ).run(plan, suite)
+        assert report.passed
+        assert guard.observations > 0
+        assert guard.violations == []
