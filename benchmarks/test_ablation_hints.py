@@ -20,8 +20,7 @@ import random
 
 import pytest
 
-from figures_common import emit_figure, shared_database
-from repro.optimizer.engine import Optimizer
+from figures_common import emit_figure, shared_database, shared_service
 from repro.optimizer.result import OptimizationError
 from repro.logical.validate import ValidationError, validate_tree
 from repro.rules.registry import default_registry
@@ -39,9 +38,7 @@ def _pattern_campaign(use_hints: bool, seed: int = 321):
     instantiator = PatternInstantiator(
         database.catalog, rng, database.stats_repository()
     )
-    optimizer = Optimizer(
-        database.catalog, database.stats_repository(), registry
-    )
+    service = shared_service()
     totals = {}
     for rule in registry.exploration_rules:
         hints = merge_hints([rule]) if use_hints else {}
@@ -50,7 +47,7 @@ def _pattern_campaign(use_hints: bool, seed: int = 321):
             try:
                 tree = instantiator.instantiate(rule.pattern, hints)
                 validate_tree(tree, database.catalog)
-                result = optimizer.optimize(tree)
+                result = service.optimize(tree)
             except (GenerationFailure, ValidationError, OptimizationError):
                 continue
             if rule.name in result.rules_exercised:
@@ -62,7 +59,9 @@ def _pattern_campaign(use_hints: bool, seed: int = 321):
 
 def test_ablation_generation_hints(benchmark, capsys):
     registry = default_registry()
-    generator = QueryGenerator(shared_database(), registry, seed=321)
+    generator = QueryGenerator(
+        shared_database(), registry, seed=321, service=shared_service()
+    )
 
     with_hints = benchmark.pedantic(
         lambda: _pattern_campaign(use_hints=True), rounds=1, iterations=1

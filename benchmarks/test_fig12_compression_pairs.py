@@ -14,7 +14,12 @@ in minutes -- see EXPERIMENTS.md.
 
 import pytest
 
-from figures_common import compression_costs, emit_figure, pair_suite
+from figures_common import (
+    compression_costs,
+    emit_figure,
+    pair_suite,
+    timed_edge_cost_passes,
+)
 
 SIZES = (4, 6, 8, 10)
 K = 3
@@ -54,3 +59,34 @@ def test_fig12_pair_compression(benchmark, capsys):
         assert costs["TOPK"] <= costs["SMC"] * 1.05, (
             f"TOPK should be the best approach (n={n})"
         )
+
+
+def test_fig12_edge_cost_service_timing(capsys):
+    """Service-layer measurement: building the largest bipartite graph cold
+    vs against a warm fingerprint cache (fresh oracle both times)."""
+    timing = timed_edge_cost_passes(pair_suite(max(SIZES), K))
+    emit_figure(
+        capsys,
+        "fig12_timing",
+        f"TOPK edge-cost construction, cold vs warm service (n={max(SIZES)}, k={K})",
+        ("pass", "seconds", "service computed", "service hits"),
+        [
+            (
+                "cold",
+                round(timing["cold_seconds"], 4),
+                timing["service"]["computed"],
+                0,
+            ),
+            (
+                "warm",
+                round(timing["warm_seconds"], 4),
+                0,
+                timing["service"]["hits"],
+            ),
+            ("speedup", round(timing["speedup"], 1), "", ""),
+        ],
+    )
+    assert timing["service"]["hits"] > 0, "warm pass must hit the cache"
+    assert timing["speedup"] >= 1.5, (
+        f"warm edge-cost pass must be >=1.5x faster, got {timing['speedup']:.2f}x"
+    )

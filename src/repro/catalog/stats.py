@@ -67,6 +67,10 @@ class TableStats:
     def column(self, name: str) -> ColumnStats:
         return self._columns[name]
 
+    def column_names(self) -> Tuple[str, ...]:
+        """Names with statistics, in sorted order (deterministic walks)."""
+        return tuple(sorted(self._columns))
+
     def has_column(self, name: str) -> bool:
         return name in self._columns
 

@@ -22,9 +22,15 @@ import sys
 from typing import List, Optional
 
 from repro.engine import execute_plan, explain_analyze
-from repro.optimizer.engine import Optimizer
+from repro.optimizer.config import DEFAULT_CONFIG
 from repro.rules.faults import ALL_FAULTS
 from repro.rules.registry import default_registry
+from repro.service import (
+    PlanService,
+    cache_stats,
+    clear_cache,
+    default_cache_dir,
+)
 from repro.sql.binder import sql_to_tree
 from repro.testing.compression import (
     baseline_plan,
@@ -52,6 +58,14 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["tpch", "star"],
         default="tpch",
         help="which built-in test database to run against",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for batched plan/cost requests (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the plan service's in-memory and on-disk caches",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -157,11 +171,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="lowest severity that makes the exit code non-zero",
     )
 
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the persistent plan cache"
+    )
+    cache_action = cache.add_mutually_exclusive_group(required=True)
+    cache_action.add_argument(
+        "--stats", action="store_true", help="show cache statistics"
+    )
+    cache_action.add_argument(
+        "--clear", action="store_true", help="remove all cached records"
+    )
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "cache":
+        root = default_cache_dir()
+        if args.clear:
+            removed = clear_cache(root)
+            print(f"removed {removed} cached records from {root}")
+            return 0
+        stats = cache_stats(root)
+        print(f"cache directory: {root}")
+        print(f"environments: {len(stats['environments'])}")
+        for name, env in stats["environments"].items():
+            print(f"  {name}: {env['entries']} records, {env['bytes']} bytes")
+        print(f"total: {stats['entries']} records, {stats['bytes']} bytes")
+        return 0
+
     if args.database == "star":
         from repro.workloads import star_database
 
@@ -169,6 +209,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         database = tpch_database(seed=args.seed)
     registry = default_registry()
+    service = PlanService(
+        database,
+        registry=registry,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else default_cache_dir(),
+        memory_cache=not args.no_cache,
+    )
 
     if args.command == "ddl":
         print(database.catalog.ddl())
@@ -189,7 +236,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "generate":
-        generator = QueryGenerator(database, registry, seed=args.seed)
+        generator = QueryGenerator(
+            database, registry, seed=args.seed, service=service
+        )
         if args.pair:
             if args.method == "pattern":
                 outcome = generator.pattern_query_for_pair(
@@ -226,13 +275,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "optimize":
         tree = sql_to_tree(args.sql, database.catalog)
-        from repro.optimizer.config import OptimizerConfig
-
-        config = OptimizerConfig(disabled_rules=frozenset(args.disable))
-        optimizer = Optimizer(
-            database.catalog, database.stats_repository(), registry, config
+        result = service.optimize(
+            tree, DEFAULT_CONFIG.with_disabled(args.disable)
         )
-        result = optimizer.optimize(tree)
         print(f"cost: {result.cost:.3f}")
         exploration = {r.name for r in registry.exploration_rules}
         print("RuleSet(q):", ", ".join(sorted(result.rules_exercised & exploration)))
@@ -247,10 +292,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "correctness":
         names = registry.exploration_rule_names[: args.rules]
         builder = TestSuiteBuilder(
-            database, registry, seed=args.seed, extra_operators=2
+            database, registry, seed=args.seed, extra_operators=2,
+            service=service,
         )
         suite = builder.build(singleton_nodes(names), k=args.k)
-        oracle = CostOracle(database, registry)
+        oracle = CostOracle(database, registry, service=service)
         maker = {
             "baseline": baseline_plan,
             "smc": set_multicover_plan,
@@ -261,7 +307,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{plan.method}: estimated execution cost "
             f"{plan.total_cost:.1f}, {len(plan.selected_query_ids)} queries"
         )
-        report = CorrectnessRunner(database, registry).run(plan, suite)
+        report = CorrectnessRunner(
+            database, registry, service=service
+        ).run(plan, suite)
         print(
             f"executed {report.queries_executed} queries, "
             f"{report.disabled_plans_executed} disabled plans "
@@ -275,7 +323,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if report.passed else 1
 
     if args.command == "coverage":
-        generator = QueryGenerator(database, registry, seed=args.seed)
+        generator = QueryGenerator(
+            database, registry, seed=args.seed, service=service
+        )
         campaign = CoverageCampaign(generator)
         names = registry.exploration_rule_names[: args.rules]
         if args.pairs:
@@ -286,7 +336,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if not report.uncovered else 1
 
     if args.command == "interaction":
-        generator = QueryGenerator(database, registry, seed=args.seed)
+        generator = QueryGenerator(
+            database, registry, seed=args.seed, service=service
+        )
         outcome = generator.derived_interaction_query(
             args.producer, args.consumer
         )
@@ -308,7 +360,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         names = registry.exploration_rule_names[: args.rules]
         result = run_campaign(
-            database, registry, rule_names=names, k=args.k, seed=args.seed
+            database, registry, rule_names=names, k=args.k, seed=args.seed,
+            service=service,
         )
         text = result.to_markdown()
         if args.output:
@@ -383,15 +436,15 @@ def _sanitized_plan_smoke(database, registry, count: int, seed: int):
         PlanSanityError,
         Severity,
     )
-    from repro.optimizer.config import OptimizerConfig
     from repro.optimizer.result import OptimizationError
     from repro.testing.builders import GenerationFailure
     from repro.testing.random_gen import RandomQueryGenerator
 
-    stats = database.stats_repository()
-    generator = RandomQueryGenerator(database.catalog, seed=seed, stats=stats)
-    config = OptimizerConfig(sanitize_plans=True)
-    optimizer = Optimizer(database.catalog, stats, registry, config)
+    service = PlanService(database, registry=registry)
+    generator = RandomQueryGenerator(
+        database.catalog, seed=seed, stats=service.stats
+    )
+    config = DEFAULT_CONFIG.replaced(sanitize_plans=True)
     exploration = {rule.name for rule in registry.exploration_rules}
     guard = MonotonicityGuard()
     report = AnalysisReport()
@@ -404,7 +457,7 @@ def _sanitized_plan_smoke(database, registry, count: int, seed: int):
         except GenerationFailure:
             continue
         try:
-            base = optimizer.optimize(tree)
+            base = service.optimize(tree, config)
         except PlanSanityError as exc:
             report.add(
                 Diagnostic(
@@ -421,14 +474,10 @@ def _sanitized_plan_smoke(database, registry, count: int, seed: int):
         produced += 1
         report.count("plans_sanitized")
         for rule_name in sorted(base.rules_exercised & exploration)[:3]:
-            restricted_optimizer = Optimizer(
-                database.catalog,
-                stats,
-                registry,
-                config.with_disabled([rule_name]),
-            )
             try:
-                restricted = restricted_optimizer.optimize(tree)
+                restricted = service.optimize(
+                    tree, config.with_disabled([rule_name])
+                )
             except OptimizationError:
                 continue
             if (

@@ -1,6 +1,7 @@
 """Logical operators, derived properties and cardinality estimation."""
 
 from repro.logical.cardinality import CardinalityEstimator, RelEstimate
+from repro.logical.fingerprint import FingerprintError, fingerprint
 from repro.logical.operators import (
     Distinct,
     Except,
@@ -34,6 +35,7 @@ __all__ = [
     "CardinalityEstimator",
     "Distinct",
     "Except",
+    "FingerprintError",
     "GbAgg",
     "Get",
     "GroupRef",
@@ -54,6 +56,7 @@ __all__ = [
     "UnionAll",
     "ValidationError",
     "equijoin_pairs",
+    "fingerprint",
     "is_pure_equijoin",
     "is_set_op",
     "make_get",

@@ -101,6 +101,16 @@ class LogicalOp:
         """Number of operator nodes in this tree."""
         return sum(1 for _ in self.walk())
 
+    def fingerprint(self) -> str:
+        """Stable structural content hash (tree mode only).
+
+        See :mod:`repro.logical.fingerprint`; equal trees hash equal across
+        processes, which makes the fingerprint usable as a cache key.
+        """
+        from repro.logical.fingerprint import fingerprint
+
+        return fingerprint(self)
+
     def pretty(self, indent: int = 0) -> str:
         """Indented multi-line rendering of the tree."""
         pad = "  " * indent

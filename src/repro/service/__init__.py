@@ -1,0 +1,27 @@
+"""The service layer: centralized, cached, parallel Plan/Cost serving.
+
+:class:`PlanService` is the single gateway to the optimizer.  All framework
+layers (testing, analysis, CLI, benchmarks) route their ``Plan(q)`` /
+``Cost(q, ¬R)`` requests through a service instance instead of constructing
+:class:`repro.optimizer.engine.Optimizer` objects themselves.
+"""
+
+from repro.service.cache import (
+    PlanDiskCache,
+    cache_stats,
+    clear_cache,
+    default_cache_dir,
+    environment_fingerprint,
+)
+from repro.service.plan_service import PlanRequest, PlanService, ServiceStats
+
+__all__ = [
+    "PlanDiskCache",
+    "PlanRequest",
+    "PlanService",
+    "ServiceStats",
+    "cache_stats",
+    "clear_cache",
+    "default_cache_dir",
+    "environment_fingerprint",
+]

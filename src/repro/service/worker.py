@@ -1,0 +1,53 @@
+"""Process-pool worker side of :class:`repro.service.PlanService`.
+
+``optimize_many`` ships each worker one pickled *environment* (catalog,
+statistics, registry) through the pool initializer; the worker rebuilds an
+:class:`Optimizer` per distinct config on demand and keeps it for the life
+of the pool, so fanning out N requests costs one environment transfer per
+worker, not per request.
+
+Everything here is module-level so it pickles by reference under both the
+``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, Optional, Tuple
+
+from repro.logical.operators import LogicalOp
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.engine import Optimizer
+from repro.optimizer.result import OptimizationError, OptimizeResult
+
+_ENVIRONMENT = None
+_OPTIMIZERS: Dict[OptimizerConfig, Optimizer] = {}
+
+
+def init_worker(payload: bytes) -> None:
+    """Pool initializer: install the pickled (catalog, stats, registry)."""
+    global _ENVIRONMENT
+    _ENVIRONMENT = pickle.loads(payload)
+    _OPTIMIZERS.clear()
+
+
+def _optimizer_for(config: OptimizerConfig) -> Optimizer:
+    optimizer = _OPTIMIZERS.get(config)
+    if optimizer is None:
+        catalog, stats, registry = _ENVIRONMENT
+        optimizer = Optimizer(catalog, stats, registry, config)
+        _OPTIMIZERS[config] = optimizer
+    return optimizer
+
+
+def optimize_task(
+    task: Tuple[int, LogicalOp, OptimizerConfig],
+) -> Tuple[int, Optional[OptimizeResult], Optional[str]]:
+    """Optimize one request; failures come back as messages, not raises,
+    so one bad tree cannot poison a whole batch."""
+    index, tree, config = task
+    try:
+        result = _optimizer_for(config).optimize(tree)
+    except OptimizationError as exc:
+        return index, None, str(exc)
+    return index, result, None

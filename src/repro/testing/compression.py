@@ -83,6 +83,21 @@ class CompressionError(Exception):
     """Raised when no valid plan exists (e.g. too few covering queries)."""
 
 
+def _batched_edge_costs(
+    oracle: CostOracle, pairs: List[Tuple[SuiteQuery, RuleNode]]
+) -> Dict[Tuple[RuleNode, int], float]:
+    """Compute every ``Cost(q, ¬R)`` edge of ``pairs`` in one service batch."""
+    batch = getattr(oracle, "cost_without_many", None)
+    if batch is None:  # plain per-edge oracle (e.g. a test double)
+        costs = [oracle.cost_without(query, node) for query, node in pairs]
+    else:
+        costs = batch(pairs)
+    return {
+        (node, query.query_id): cost
+        for (query, node), cost in zip(pairs, costs)
+    }
+
+
 # ---------------------------------------------------------------- BASELINE
 
 
@@ -94,7 +109,7 @@ def baseline_plan(suite: TestSuite, oracle: CostOracle) -> CompressionPlan:
     """
     assignments: Dict[RuleNode, List[int]] = {}
     node_costs: Dict[int, float] = {}
-    edge_costs: Dict[Tuple[RuleNode, int], float] = {}
+    pairs: List[Tuple[SuiteQuery, RuleNode]] = []
     for node in suite.rule_nodes:
         own = suite.generated_suite(node)
         if len(own) < suite.k:
@@ -105,9 +120,8 @@ def baseline_plan(suite: TestSuite, oracle: CostOracle) -> CompressionPlan:
         assignments[node] = [query.query_id for query in chosen]
         for query in chosen:
             node_costs[query.query_id] = query.cost
-            edge_costs[(node, query.query_id)] = oracle.cost_without(
-                query, node
-            )
+            pairs.append((query, node))
+    edge_costs = _batched_edge_costs(oracle, pairs)
     return CompressionPlan(
         method="BASELINE",
         assignments=assignments,
@@ -168,11 +182,14 @@ def set_multicover_plan(
     node_costs = {
         query.query_id: query.cost for query in suite.queries
     }
-    edge_costs = {
-        (node, query_id): oracle.cost_without(suite.query(query_id), node)
-        for node, ids in assignments.items()
-        for query_id in ids
-    }
+    edge_costs = _batched_edge_costs(
+        oracle,
+        [
+            (suite.query(query_id), node)
+            for node, ids in assignments.items()
+            for query_id in ids
+        ],
+    )
     return CompressionPlan(
         method="SMC",
         assignments=assignments,
@@ -212,6 +229,7 @@ def top_k_independent_plan(
     assignments: Dict[RuleNode, List[int]] = {}
     edge_costs: Dict[Tuple[RuleNode, int], float] = {}
 
+    candidates_by_node: Dict[RuleNode, List[SuiteQuery]] = {}
     for node in suite.rule_nodes:
         candidates = suite.queries_for(node)
         if len(candidates) < k:
@@ -219,17 +237,30 @@ def top_k_independent_plan(
                 f"rule node {node}: only {len(candidates)} covering queries "
                 f"for k={k}"
             )
+        candidates_by_node[node] = candidates
+
+    if not use_monotonicity:
+        # Without pruning every (rule node, candidate) edge is needed, so
+        # construct the whole bipartite graph in one batch -- the service
+        # can fan it over its worker pool.
+        pairs = [
+            (query, node)
+            for node, candidates in candidates_by_node.items()
+            for query in candidates
+        ]
+        graph = _batched_edge_costs(oracle, pairs)
+        stats.edge_costs_computed += len(pairs)
+
+    for node, candidates in candidates_by_node.items():
         if use_monotonicity:
             chosen = _top_k_with_monotonicity(
                 node, candidates, k, oracle, stats
             )
         else:
-            scored = []
-            for query in candidates:
-                cost = oracle.cost_without(query, node)
-                stats.edge_costs_computed += 1
-                scored.append((cost, query.query_id))
-            scored.sort()
+            scored = sorted(
+                (graph[(node, query.query_id)], query.query_id)
+                for query in candidates
+            )
             chosen = scored[:k]
         assignments[node] = [query_id for _, query_id in chosen]
         for cost, query_id in chosen:

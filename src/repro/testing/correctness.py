@@ -16,10 +16,10 @@ from typing import Dict, List, Optional
 
 from repro.engine.executor import ExecutionError, execute_plan
 from repro.engine.results import QueryResult, diff_summary, results_identical
-from repro.optimizer.config import OptimizerConfig
-from repro.optimizer.engine import Optimizer
+from repro.optimizer.config import DEFAULT_CONFIG, OptimizerConfig
 from repro.optimizer.result import OptimizationError
 from repro.rules.registry import RuleRegistry
+from repro.service import PlanService
 from repro.storage.database import Database
 from repro.testing.compression import CompressionPlan
 from repro.testing.suite import RuleNode, SuiteQuery, TestSuite
@@ -64,24 +64,23 @@ class CorrectnessRunner:
         registry: RuleRegistry,
         config: Optional[OptimizerConfig] = None,
         monotonicity_guard=None,
+        service: Optional[PlanService] = None,
     ) -> None:
         self.database = database
         self.registry = registry
-        self.config = config or OptimizerConfig()
-        self.stats = database.stats_repository()
+        self.config = config or DEFAULT_CONFIG
+        self.service = service or PlanService(
+            database, registry=registry, config=self.config
+        )
         #: Optional :class:`repro.analysis.sanitize.MonotonicityGuard`; when
         #: set, every baseline/disabled cost pair is asserted against the
         #: ``Cost(q) <= Cost(q, not R)`` invariant.
         self.monotonicity_guard = monotonicity_guard
 
     def _optimize(self, query: SuiteQuery, rules_off: RuleNode = ()):
-        optimizer = Optimizer(
-            self.database.catalog,
-            self.stats,
-            self.registry,
-            self.config.with_disabled(rules_off),
+        return self.service.optimize(
+            query.tree, self.config.with_disabled(rules_off)
         )
-        return optimizer.optimize(query.tree)
 
     def run(self, plan: CompressionPlan, suite: TestSuite) -> CorrectnessReport:
         """Execute the test suite described by ``plan``."""

@@ -23,10 +23,10 @@ from typing import Optional, Sequence, Tuple
 
 from repro.logical.operators import LogicalOp
 from repro.logical.validate import ValidationError, validate_tree
-from repro.optimizer.config import OptimizerConfig
-from repro.optimizer.engine import Optimizer
+from repro.optimizer.config import DEFAULT_CONFIG, OptimizerConfig
 from repro.optimizer.result import OptimizationError, OptimizeResult
 from repro.rules.registry import RuleRegistry, default_registry
+from repro.service import PlanService
 from repro.sql.generate import to_sql
 from repro.storage.database import Database
 from repro.testing.builders import GenerationFailure
@@ -66,14 +66,15 @@ class QueryGenerator:
         registry: Optional[RuleRegistry] = None,
         seed: int = 0,
         config: Optional[OptimizerConfig] = None,
+        service: Optional[PlanService] = None,
     ) -> None:
         self.database = database
         self.registry = registry or default_registry()
-        self.config = config or OptimizerConfig()
-        self.stats = database.stats_repository()
-        self.optimizer = Optimizer(
-            database.catalog, self.stats, self.registry, self.config
+        self.config = config or DEFAULT_CONFIG
+        self.service = service or PlanService(
+            database, registry=self.registry, config=self.config
         )
+        self.stats = self.service.stats
         self.rng = random.Random(seed)
         self._random_gen = RandomQueryGenerator(
             database.catalog, seed=self.rng.randrange(2**31), stats=self.stats
@@ -93,7 +94,7 @@ class QueryGenerator:
         except ValidationError:
             return None
         try:
-            result = self.optimizer.optimize(tree)
+            result = self.service.optimize(tree, self.config)
         except OptimizationError:
             return None
         if all(name in result.rules_exercised for name in targets):
@@ -269,12 +270,7 @@ class QueryGenerator:
         hints = merge_hints([rule])
         start = time.perf_counter()
         optimizer_calls = 0
-        disabled = Optimizer(
-            self.database.catalog,
-            self.stats,
-            self.registry,
-            self.config.with_disabled([rule_name]),
-        )
+        disabled_config = self.config.with_disabled([rule_name])
         for trial in range(1, max_trials + 1):
             try:
                 tree = self._instantiator.instantiate(rule.pattern, hints)
@@ -286,7 +282,7 @@ class QueryGenerator:
                 continue
             optimizer_calls += 1
             try:
-                without = disabled.optimize(tree)
+                without = self.service.optimize(tree, disabled_config)
             except OptimizationError:
                 continue
             if without.plan != result.plan:

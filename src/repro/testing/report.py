@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.rules.registry import RuleRegistry
+from repro.service import PlanService
 from repro.storage.database import Database
 from repro.testing.compression import (
     CompressionPlan,
@@ -37,6 +38,7 @@ class CampaignResult:
     executed_method: str
     correctness: CorrectnessReport
     elapsed_seconds: float
+    service_stats: Optional[Dict[str, int]] = None
 
     @property
     def passed(self) -> bool:
@@ -51,6 +53,12 @@ class CampaignResult:
             f"(k={self.suite.k} queries each)"
         )
         lines.append(f"- total wall-clock: {self.elapsed_seconds:.1f}s")
+        if self.service_stats:
+            lines.append(
+                f"- plan service: {self.service_stats['requests']} requests, "
+                f"{self.service_stats['hits']} cache hits, "
+                f"{self.service_stats['computed']} optimizations"
+            )
         lines.append(
             f"- verdict: {'**PASSED**' if self.passed else '**FAILED**'}"
         )
@@ -64,6 +72,17 @@ class CampaignResult:
             status = outcome.trials if outcome.succeeded else "FAILED"
             lines.append(
                 f"| {' + '.join(node)} | {status} | {outcome.operator_count} |"
+            )
+        lines.append("")
+
+        lines.append("## Suite queries")
+        lines.append("")
+        lines.append("| query | generated for | RuleSet(q) |")
+        lines.append("|---|---|---|")
+        for query in self.suite.queries:
+            lines.append(
+                f"| {query.query_id} | {' + '.join(query.generated_for)} | "
+                f"{', '.join(sorted(query.ruleset))} |"
             )
         lines.append("")
 
@@ -110,30 +129,40 @@ def run_campaign(
     k: int = 3,
     seed: int = 0,
     extra_operators: int = 2,
+    service: Optional[PlanService] = None,
 ) -> CampaignResult:
-    """Run the full pipeline and collect a :class:`CampaignResult`."""
+    """Run the full pipeline and collect a :class:`CampaignResult`.
+
+    All Plan/Cost traffic of every stage flows through one shared
+    :class:`PlanService`, so later stages reuse the optimizations the
+    earlier ones already paid for.
+    """
     start = time.perf_counter()
     if rule_names is None:
         rule_names = registry.exploration_rule_names
     rule_names = list(rule_names)
+    service = service or PlanService(database, registry=registry)
 
-    generator = QueryGenerator(database, registry, seed=seed)
+    generator = QueryGenerator(database, registry, seed=seed, service=service)
     coverage = CoverageCampaign(generator).singletons(
         rule_names, method="pattern"
     )
 
     builder = TestSuiteBuilder(
-        database, registry, seed=seed, extra_operators=extra_operators
+        database, registry, seed=seed, extra_operators=extra_operators,
+        service=service,
     )
     suite = builder.build(singleton_nodes(rule_names), k=k)
-    oracle = CostOracle(database, registry)
+    oracle = CostOracle(database, registry, service=service)
     plans = {
         "BASELINE": baseline_plan(suite, oracle),
         "SMC": set_multicover_plan(suite, oracle),
         "TOPK": top_k_independent_plan(suite, oracle),
     }
     cheapest = min(plans.values(), key=lambda plan: plan.total_cost)
-    correctness = CorrectnessRunner(database, registry).run(cheapest, suite)
+    correctness = CorrectnessRunner(
+        database, registry, service=service
+    ).run(cheapest, suite)
 
     return CampaignResult(
         rule_names=rule_names,
@@ -143,4 +172,5 @@ def run_campaign(
         executed_method=cheapest.method,
         correctness=correctness,
         elapsed_seconds=time.perf_counter() - start,
+        service_stats=service.counters.as_dict(),
     )

@@ -20,10 +20,9 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.logical.operators import LogicalOp
-from repro.optimizer.config import OptimizerConfig
-from repro.optimizer.engine import Optimizer
-from repro.optimizer.result import OptimizationError
+from repro.optimizer.config import DEFAULT_CONFIG, OptimizerConfig
 from repro.rules.registry import RuleRegistry
+from repro.service import PlanService
 from repro.storage.database import Database
 from repro.testing.generator import QueryGenerator
 
@@ -47,49 +46,95 @@ class SuiteQuery:
 
 
 class CostOracle:
-    """Computes and caches ``Cost(q, ¬R)``, counting optimizer invocations."""
+    """A thin ``Cost(q, ¬R)`` view over the :class:`PlanService`.
+
+    The oracle keeps its own per-``(query, rule node)`` cache and counters
+    so Figure 14 still measures *logical* optimizer invocations -- the
+    number of distinct edge costs a compression strategy demanded --
+    independently of how many of those the shared service answered from its
+    fingerprint cache (``service.counters`` tracks the physical side).
+    """
 
     def __init__(
         self,
         database: Database,
         registry: RuleRegistry,
         config: Optional[OptimizerConfig] = None,
+        service: Optional[PlanService] = None,
     ) -> None:
         self.database = database
         self.registry = registry
-        self.config = config or OptimizerConfig()
-        self.stats = database.stats_repository()
+        self.config = config or DEFAULT_CONFIG
+        self.service = service or PlanService(
+            database, registry=registry, config=self.config
+        )
+        #: Logical ``Cost(q, ¬R)`` computations this oracle was asked for
+        #: (one per distinct request; the paper's Figure 14 measurement).
         self.invocations = 0
+        #: Repeated requests answered from the oracle's own cache.
+        self.cache_hits = 0
         self._cache: Dict[Tuple[int, RuleNode], float] = {}
 
+    def _oracle_key(
+        self, query: SuiteQuery, rules_off: RuleNode
+    ) -> Tuple[int, RuleNode]:
+        return (query.query_id, tuple(sorted(rules_off)))
+
     def cost_without(self, query: SuiteQuery, rules_off: RuleNode) -> float:
-        """``Cost(q, ¬R)`` -- one optimizer invocation per distinct request."""
-        key = (query.query_id, tuple(sorted(rules_off)))
+        """``Cost(q, ¬R)`` -- one logical invocation per distinct request."""
+        key = self._oracle_key(query, rules_off)
         if key in self._cache:
+            self.cache_hits += 1
             return self._cache[key]
         self.invocations += 1
-        optimizer = Optimizer(
-            self.database.catalog,
-            self.stats,
-            self.registry,
-            self.config.with_disabled(rules_off),
+        cost = self.service.cost(
+            query.tree, self.config.with_disabled(rules_off)
         )
-        try:
-            cost = optimizer.optimize(query.tree).cost
-        except OptimizationError:
-            cost = float("inf")
         self._cache[key] = cost
         return cost
 
+    def cost_without_many(
+        self, pairs: Sequence[Tuple[SuiteQuery, RuleNode]]
+    ) -> List[float]:
+        """Batch edge-cost construction through ``optimize_many``.
+
+        Distinct unseen requests fan out over the service's worker pool in
+        one batch; counters behave exactly as if :meth:`cost_without` had
+        been called per pair (repeats hit the oracle cache).
+        """
+        costs: List[Optional[float]] = [None] * len(pairs)
+        order: List[Tuple[int, RuleNode]] = []
+        requests = []
+        request_indices: Dict[Tuple[int, RuleNode], List[int]] = {}
+        for index, (query, rules_off) in enumerate(pairs):
+            key = self._oracle_key(query, rules_off)
+            if key in self._cache:
+                self.cache_hits += 1
+                costs[index] = self._cache[key]
+                continue
+            slots = request_indices.get(key)
+            if slots is None:
+                self.invocations += 1
+                request_indices[key] = [index]
+                order.append(key)
+                requests.append(
+                    (query.tree, self.config.with_disabled(rules_off))
+                )
+            else:
+                self.cache_hits += 1
+                slots.append(index)
+        if requests:
+            for key, cost in zip(order, self.service.cost_many(requests)):
+                self._cache[key] = cost
+                for index in request_indices[key]:
+                    costs[index] = cost
+        return [float(cost) for cost in costs]
+
     def plan_without(self, query: SuiteQuery, rules_off: RuleNode):
         """``Plan(q, ¬R)`` (used by the correctness runner)."""
-        optimizer = Optimizer(
-            self.database.catalog,
-            self.stats,
-            self.registry,
-            self.config.with_disabled(rules_off),
+        return self.service.optimize(
+            query.tree, self.config.with_disabled(rules_off)
         )
-        return optimizer.optimize(query.tree)
 
 
 @dataclass
@@ -150,10 +195,13 @@ class TestSuiteBuilder:
         seed: int = 0,
         extra_operators: int = 4,
         max_trials: int = 40,
+        service: Optional[PlanService] = None,
     ) -> None:
         self.database = database
         self.registry = registry
-        self.generator = QueryGenerator(database, registry, seed=seed)
+        self.generator = QueryGenerator(
+            database, registry, seed=seed, service=service
+        )
         self.extra_operators = extra_operators
         self.max_trials = max_trials
         self._exploration_names = frozenset(

@@ -133,3 +133,48 @@ class TestCampaigns:
         )
         assert code == 0
         assert "exercised on an expression" in capsys.readouterr().out
+
+
+class TestServiceFlags:
+    def test_no_cache_flag(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            ["--no-cache", "optimize", "--sql",
+             "SELECT o_orderkey FROM orders"]
+        ) == 0
+        assert "cost:" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*/*.json"))  # nothing persisted
+
+    def test_cached_optimize_persists(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            ["optimize", "--sql", "SELECT o_orderkey FROM orders"]
+        ) == 0
+        assert list(tmp_path.glob("*/*.json"))
+
+    def test_workers_flag(self, capsys):
+        assert main(
+            ["--workers", "2", "--no-cache", "coverage", "--rules", "3"]
+        ) == 0
+        assert "3/3 nodes covered" in capsys.readouterr().out
+
+    def test_cache_stats_and_clear(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            ["optimize", "--sql", "SELECT o_custkey FROM orders"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "total: 1 records" in out
+        assert main(["cache", "--clear"]) == 0
+        assert "removed 1 cached records" in capsys.readouterr().out
+        assert main(["cache", "--stats"]) == 0
+        assert "total: 0 records" in capsys.readouterr().out
+
+    def test_campaign_reports_service_stats(self, capsys):
+        assert main(["--no-cache", "campaign", "--rules", "3", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "- plan service:" in out
+        assert "## Suite queries" in out

@@ -1,0 +1,116 @@
+"""Tests for structural tree fingerprints (the plan-service cache key)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.logical import FingerprintError, fingerprint
+from repro.logical.operators import GroupRef
+from repro.sql.binder import sql_to_tree
+
+SQL_A = (
+    "SELECT o_orderkey, o_totalprice FROM orders "
+    "WHERE o_totalprice > 100 ORDER BY o_orderkey"
+)
+SQL_B = (
+    "SELECT o_orderkey, o_totalprice FROM orders "
+    "WHERE o_totalprice > 101 ORDER BY o_orderkey"
+)
+SQL_JOIN = (
+    "SELECT c_name FROM customer JOIN orders ON c_custkey = o_custkey "
+    "WHERE o_totalprice > 500"
+)
+
+
+class TestEquality:
+    def test_reparsed_tree_hashes_equal(self, tpch_db):
+        """Two binds of the same SQL allocate fresh column ids, but the
+        trees are structurally identical -- fingerprints must agree."""
+        first = sql_to_tree(SQL_A, tpch_db.catalog)
+        second = sql_to_tree(SQL_A, tpch_db.catalog)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_fingerprint_is_hex_sha256(self, tpch_db):
+        value = sql_to_tree(SQL_A, tpch_db.catalog).fingerprint()
+        assert len(value) == 64
+        int(value, 16)  # hex-parseable
+
+    def test_free_function_matches_method(self, tpch_db):
+        tree = sql_to_tree(SQL_JOIN, tpch_db.catalog)
+        assert fingerprint(tree) == tree.fingerprint()
+
+
+class TestSensitivity:
+    def test_literal_change_changes_hash(self, tpch_db):
+        a = sql_to_tree(SQL_A, tpch_db.catalog)
+        b = sql_to_tree(SQL_B, tpch_db.catalog)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_different_shapes_differ(self, tpch_db):
+        a = sql_to_tree(SQL_A, tpch_db.catalog)
+        b = sql_to_tree(SQL_JOIN, tpch_db.catalog)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_subtree_fingerprints_differ_from_root(self, tpch_db):
+        tree = sql_to_tree(SQL_A, tpch_db.catalog)
+        assert tree.fingerprint() != tree.children[0].fingerprint()
+
+    def test_column_order_matters(self, tpch_db):
+        a = sql_to_tree(
+            "SELECT o_orderkey, o_totalprice FROM orders", tpch_db.catalog
+        )
+        b = sql_to_tree(
+            "SELECT o_totalprice, o_orderkey FROM orders", tpch_db.catalog
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestStability:
+    def test_stable_across_hash_seeds(self, tpch_db):
+        """The digest must not depend on PYTHONHASHSEED (i.e. not use the
+        builtin ``hash``), or the cross-run disk cache would never hit."""
+        script = (
+            "from repro.workloads import tpch_database\n"
+            "from repro.sql.binder import sql_to_tree\n"
+            f"tree = sql_to_tree({SQL_A!r}, tpch_database(seed=1).catalog)\n"
+            "print(tree.fingerprint())\n"
+        )
+        digests = set()
+        for seed in ("0", "1", "31337"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            )
+            assert proc.returncode == 0, proc.stderr
+            digests.add(proc.stdout.strip())
+        assert len(digests) == 1
+
+    def test_in_process_matches_subprocess(self, tpch_db):
+        local = sql_to_tree(SQL_A, tpch_db.catalog).fingerprint()
+        script = (
+            "from repro.workloads import tpch_database\n"
+            "from repro.sql.binder import sql_to_tree\n"
+            f"tree = sql_to_tree({SQL_A!r}, tpch_database(seed=1).catalog)\n"
+            "print(tree.fingerprint())\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "99"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == local
+
+
+class TestErrors:
+    def test_memo_nodes_rejected(self, tpch_db):
+        tree = sql_to_tree(SQL_A, tpch_db.catalog)
+        memoish = tree.with_children(
+            tuple(GroupRef(group_id=0) for _ in tree.children)
+        )
+        with pytest.raises(FingerprintError):
+            memoish.fingerprint()

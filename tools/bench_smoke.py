@@ -1,0 +1,140 @@
+"""CI benchmark smoke: reduced Figure 8 + Figure 14 passes.
+
+Runs the two headline measurements at CI-friendly sizes, all through one
+shared :class:`PlanService`, and writes a timing/cache-stats JSON artifact:
+
+* **Figure 8 (reduced):** pattern-based singleton generation trials for the
+  first ``--rules`` exploration rules.
+* **Figure 14 (reduced):** TOPK edge-cost construction over rule pairs,
+  with and without the monotonicity optimization; the monotonicity pass
+  must save logical optimizer invocations.
+* **Service check:** the edge-cost pass is then repeated with a fresh cost
+  oracle against the same service; the second pass must be answered with a
+  nonzero number of fingerprint-cache hits.
+
+Exit code is non-zero when any of those properties fails, so the CI job
+gates regressions in both the paper's result shapes and the service layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.rules.registry import default_registry
+from repro.service import PlanService
+from repro.testing import (
+    CostOracle,
+    QueryGenerator,
+    TestSuiteBuilder,
+    TopKStats,
+    pair_nodes,
+    top_k_independent_plan,
+)
+from repro.workloads import tpch_database
+
+
+def fig8_smoke(database, registry, service, rules: int) -> dict:
+    generator = QueryGenerator(database, registry, seed=123, service=service)
+    rows = []
+    start = time.perf_counter()
+    for name in registry.exploration_rule_names[:rules]:
+        outcome = generator.pattern_query_for_rule(name, max_trials=25)
+        rows.append(
+            {
+                "rule": name,
+                "trials": outcome.trials,
+                "succeeded": outcome.succeeded,
+            }
+        )
+    return {
+        "rows": rows,
+        "seconds": time.perf_counter() - start,
+        "all_succeeded": all(row["succeeded"] for row in rows),
+    }
+
+
+def fig14_smoke(database, registry, service, rules: int, k: int) -> dict:
+    builder = TestSuiteBuilder(
+        database, registry, seed=7, extra_operators=0, service=service
+    )
+    names = registry.exploration_rule_names[:rules]
+    suite = builder.build(pair_nodes(names), k=k)
+
+    plain_oracle = CostOracle(database, registry, service=service)
+    start = time.perf_counter()
+    plain = top_k_independent_plan(suite, plain_oracle, stats=TopKStats())
+    cold_seconds = time.perf_counter() - start
+
+    mono_oracle = CostOracle(database, registry, service=service)
+    mono = top_k_independent_plan(
+        suite, mono_oracle, use_monotonicity=True, stats=TopKStats()
+    )
+
+    # Second full pass, fresh oracle, same service: pure cache hits.
+    hits_before = service.counters.hits
+    start = time.perf_counter()
+    top_k_independent_plan(suite, CostOracle(database, registry, service=service))
+    warm_seconds = time.perf_counter() - start
+    warm_hits = service.counters.hits - hits_before
+
+    return {
+        "invocations_plain": plain_oracle.invocations,
+        "invocations_mono": mono_oracle.invocations,
+        "cost_plain": plain.total_cost,
+        "cost_mono": mono.total_cost,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_pass_cache_hits": warm_hits,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rules", type=int, default=4)
+    parser.add_argument("--k", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--output", default="bench_smoke.json",
+        help="where to write the timing/cache-stats artifact",
+    )
+    args = parser.parse_args(argv)
+
+    database = tpch_database(seed=0)
+    registry = default_registry()
+    service = PlanService(database, registry=registry, workers=args.workers)
+
+    fig8 = fig8_smoke(database, registry, service, args.rules)
+    fig14 = fig14_smoke(database, registry, service, args.rules, args.k)
+    payload = {
+        "parameters": {
+            "rules": args.rules,
+            "k": args.k,
+            "workers": args.workers,
+        },
+        "fig8": fig8,
+        "fig14": fig14,
+        "service": service.counters.as_dict(),
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    failures = []
+    if not fig8["all_succeeded"]:
+        failures.append("fig8: a pattern generation campaign failed")
+    if not fig14["invocations_mono"] < fig14["invocations_plain"]:
+        failures.append("fig14: monotonicity saved no optimizer invocations")
+    if abs(fig14["cost_plain"] - fig14["cost_mono"]) > 1e-6:
+        failures.append("fig14: monotonicity changed the solution cost")
+    if fig14["warm_pass_cache_hits"] <= 0:
+        failures.append("service: second edge-cost pass had no cache hits")
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
