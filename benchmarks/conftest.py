@@ -1,0 +1,41 @@
+"""Benchmark-suite pytest hooks: the ``--trace-out`` flag.
+
+``pytest benchmarks --trace-out results/bench.trace.json`` runs every
+figure with the benchmark-wide recording tracer attached to the shared
+:class:`~repro.service.PlanService` and, at session end, archives a
+chrome-trace (``chrome://tracing`` / Perfetto) file plus a
+``*.metrics.json`` snapshot next to ``benchmarks/results``.  The flag is
+plumbed through the ``REPRO_TRACE_OUT`` environment variable so figure
+helpers stay importable outside pytest.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="archive a chrome-trace of the benchmark run to PATH "
+        "(plus PATH-with-.metrics.json for the metrics snapshot)",
+    )
+
+
+def pytest_configure(config):
+    path = config.getoption("--trace-out", default=None)
+    if path:
+        os.environ["REPRO_TRACE_OUT"] = str(path)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not os.environ.get("REPRO_TRACE_OUT"):
+        return
+    from figures_common import write_trace_archive
+
+    written = write_trace_archive()
+    if written is not None:
+        print(f"\nbenchmark trace archived to {written}")

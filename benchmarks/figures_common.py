@@ -22,6 +22,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import NULL_TRACER, MetricsRegistry, RecordingTracer, Tracer
 from repro.rules import RuleRegistry, default_registry
 from repro.service import PlanService
 from repro.storage.database import Database
@@ -60,12 +61,59 @@ def bench_workers() -> int:
     return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
 
 
+def trace_out_path() -> Optional[Path]:
+    """Where to archive the benchmark trace, if tracing was requested.
+
+    Set by ``pytest benchmarks --trace-out PATH`` (see conftest) or the
+    ``REPRO_TRACE_OUT`` environment variable directly.
+    """
+    raw = os.environ.get("REPRO_TRACE_OUT", "")
+    return Path(raw) if raw else None
+
+
+@lru_cache(maxsize=1)
+def bench_tracer() -> Tracer:
+    """The benchmark-wide tracer: recording iff a trace archive was asked
+    for, the zero-cost null tracer otherwise."""
+    if trace_out_path() is None:
+        return NULL_TRACER
+    # Full figure runs make millions of rule attempts; summary detail
+    # keeps recording overhead low, and a deep ring keeps the interesting
+    # tail (the later, larger sweep points) plus a drop count.
+    return RecordingTracer(capacity=1 << 20, detail="summary")
+
+
+@lru_cache(maxsize=1)
+def bench_metrics() -> Optional[MetricsRegistry]:
+    return MetricsRegistry() if trace_out_path() is not None else None
+
+
 @lru_cache(maxsize=1)
 def shared_service() -> PlanService:
     """One fingerprint-cached :class:`PlanService` shared by every figure."""
     return PlanService(
-        shared_database(), registry=registry(), workers=bench_workers()
+        shared_database(), registry=registry(), workers=bench_workers(),
+        tracer=bench_tracer(), metrics=bench_metrics(),
     )
+
+
+def write_trace_archive() -> Optional[Path]:
+    """Persist the benchmark trace (chrome format) plus the metrics
+    snapshot next to ``benchmarks/results``; no-op when tracing is off."""
+    path = trace_out_path()
+    if path is None:
+        return None
+    tracer = bench_tracer()
+    if not tracer.enabled:
+        return None
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(tracer.to_chrome_json())
+    metrics = bench_metrics()
+    if metrics is not None:
+        path.with_suffix(".metrics.json").write_text(
+            json.dumps(metrics.snapshot(), indent=2, sort_keys=True)
+        )
+    return path
 
 
 def rule_prefix(n: int) -> List[str]:

@@ -171,6 +171,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="lowest severity that makes the exit code non-zero",
     )
 
+    trace = commands.add_parser(
+        "trace",
+        help="optimize with tracing enabled and show rule firing counts "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    trace_target = trace.add_mutually_exclusive_group(required=True)
+    trace_target.add_argument(
+        "--sql", help="trace the optimization of this SQL query"
+    )
+    trace_target.add_argument(
+        "--rule",
+        help="generate a query exercising this rule, then trace it",
+    )
+    trace_target.add_argument(
+        "--campaign", action="store_true",
+        help="trace a full testing campaign",
+    )
+    trace.add_argument(
+        "--format", choices=["text", "json", "chrome"], default="text",
+        help="text: rule table; json: deterministic event dump; chrome: "
+        "chrome://tracing / Perfetto trace-event JSON",
+    )
+    trace.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the hot-rule table (text format, default 10)",
+    )
+    trace.add_argument(
+        "--rules", type=int, default=6,
+        help="rules under test for --campaign (default 6)",
+    )
+    trace.add_argument("--k", type=int, default=2, help="queries per rule")
+    trace.add_argument(
+        "--disable", action="append", default=[],
+        help="rule name to disable (repeatable)",
+    )
+    trace.add_argument(
+        "--detail", choices=["full", "summary"], default="full",
+        help="full: every rule attempt / memo insert / costing as an "
+        "event; summary: low-volume events only (counts stay exact)",
+    )
+    trace.add_argument(
+        "--out", help="write the trace to this file instead of stdout"
+    )
+
     cache = commands.add_parser(
         "cache", help="inspect or clear the persistent plan cache"
     )
@@ -372,6 +416,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(text)
         return 0 if result.passed else 1
 
+    if args.command == "trace":
+        return _run_trace(args, database, registry)
+
     if args.command == "analyze":
         from pathlib import Path
 
@@ -424,6 +471,115 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if report.at_or_above(threshold) else 0
 
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def _run_trace(args, database, registry) -> int:
+    """The ``repro trace`` subcommand: optimize with a recording tracer.
+
+    Runs against a fresh in-memory-only service (no disk cache) so the
+    event sequence depends only on the seed and the query -- the JSON
+    export is byte-identical across runs.
+    """
+    import json
+
+    from repro.obs import MetricsRegistry, RecordingTracer
+    from repro.testing.generator import QueryGenerator
+
+    tracer = RecordingTracer(detail=args.detail)
+    metrics = MetricsRegistry()
+    service = PlanService(
+        database, registry=registry, workers=args.workers,
+        cache_dir=None, tracer=tracer, metrics=metrics,
+    )
+    config = DEFAULT_CONFIG.with_disabled(args.disable)
+
+    if args.campaign:
+        from repro.testing.report import run_campaign
+
+        names = registry.exploration_rule_names[: args.rules]
+        run_campaign(
+            database, registry, rule_names=names, k=args.k,
+            seed=args.seed, service=service,
+        )
+        subject = f"campaign over {len(names)} rules (k={args.k})"
+    else:
+        if args.rule:
+            # Generate without tracing so the archive holds one clean
+            # optimization of the final query, not every trial.
+            generator = QueryGenerator(
+                database, registry, seed=args.seed,
+                service=PlanService(database, registry=registry, cache_dir=None),
+            )
+            outcome = generator.pattern_query_for_rule(args.rule)
+            if not outcome.succeeded:
+                print(
+                    f"FAILED to generate a query exercising {args.rule} "
+                    f"in {outcome.trials} trials"
+                )
+                return 1
+            tree, subject = outcome.tree, f"rule {args.rule}: {outcome.sql}"
+        else:
+            tree = sql_to_tree(args.sql, database.catalog)
+            subject = args.sql
+        service.optimize(tree, config)
+
+    if args.format == "json":
+        output = json.dumps(
+            {
+                "trace": {
+                    "capacity": tracer.capacity,
+                    "dropped": tracer.dropped,
+                    "events": [
+                        event.deterministic_dict()
+                        for event in tracer.events
+                    ],
+                },
+                "metrics": metrics.snapshot(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    elif args.format == "chrome":
+        output = tracer.to_chrome_json()
+    else:
+        output = _trace_text(subject, tracer, metrics, args.top)
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output + "\n")
+        print(f"trace written to {args.out}")
+    else:
+        print(output)
+    return 0
+
+
+def _trace_text(subject, tracer, metrics, top: int) -> str:
+    lines: List[str] = []
+    lines.append(f"traced: {subject}")
+    lines.append(
+        f"events: {len(tracer.events)} recorded, {tracer.dropped} dropped"
+    )
+    counts = tracer.counts_by_name()
+    summary = ", ".join(
+        f"{name}={count}" for name, count in sorted(counts.items())
+    )
+    lines.append(f"by name: {summary}")
+    lines.append("")
+    rows = metrics.rule_table()
+    lines.append(f"hot rules (top {min(top, len(rows))} of {len(rows)}):")
+    lines.append(f"{'rule':<32} {'considered':>10} {'fired':>6} {'rejected':>8}")
+    for rule, considered, fired, rejected in rows[:top]:
+        lines.append(f"{rule:<32} {considered:>10} {fired:>6} {rejected:>8}")
+    lines.append("")
+    optimizations = metrics.counter_value("optimizer.optimizations")
+    costings = metrics.counter_value("optimizer.costings")
+    lines.append(
+        f"optimizations: {optimizations}, costings: {costings}, "
+        f"service requests: "
+        f"{metrics.counter_value('service.requests')} "
+        f"({metrics.counter_value('service.memory_hits')} memory hits)"
+    )
+    return "\n".join(lines)
 
 
 def _sanitized_plan_smoke(database, registry, count: int, seed: int):

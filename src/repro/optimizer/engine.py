@@ -28,10 +28,17 @@ from repro.catalog.stats import StatsRepository
 from repro.logical.cardinality import CardinalityEstimator, RelEstimate
 from repro.logical.operators import GroupRef, LogicalOp, SortKey
 from repro.logical.properties import LogicalProps, PropertyDeriver
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.optimizer.binding import bindings
 from repro.optimizer.config import DEFAULT_CONFIG, OptimizerConfig
 from repro.optimizer.memo import Group, GroupExpr, Memo, MemoBudgetExceeded
-from repro.optimizer.result import MemoStats, OptimizationError, OptimizeResult
+from repro.optimizer.result import (
+    MemoStats,
+    OptimizationError,
+    OptimizeResult,
+    RuleCounters,
+)
 from repro.physical.cost import INFINITE_COST, local_cost, sort_cost
 from repro.physical.operators import (
     Ordering,
@@ -81,6 +88,36 @@ class Winner:
     provided: Ordering
 
 
+class _RuleTally:
+    """Per-rule attempt outcomes for one optimization run.
+
+    Indexed lists keep the hot-loop updates cheap:
+    ``[considered, fired, rejected, precondition_failures]``.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, List[int]] = {}
+
+    def for_rule(self, name: str) -> List[int]:
+        counts = self.counts.get(name)
+        if counts is None:
+            counts = self.counts[name] = [0, 0, 0, 0]
+        return counts
+
+    def as_rule_counters(self) -> Tuple[RuleCounters, ...]:
+        return tuple(
+            RuleCounters(
+                name=name,
+                considered=counts[0],
+                fired=counts[1],
+                rejected=counts[2],
+            )
+            for name, counts in sorted(self.counts.items())
+        )
+
+
 class Optimizer:
     """Rule-based query optimizer over a catalog and statistics."""
 
@@ -90,11 +127,18 @@ class Optimizer:
         stats: StatsRepository,
         registry: Optional[RuleRegistry] = None,
         config: OptimizerConfig = DEFAULT_CONFIG,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.catalog = catalog
         self.stats = stats
         self.registry = registry or default_registry()
         self.config = config
+        #: Observability hooks.  Plain mutable attributes: the pool worker
+        #: reuses one Optimizer per config and swaps in a fresh registry
+        #: per task so each result ships its own metric delta.
+        self.tracer = tracer
+        self.metrics = metrics
         self._deriver = PropertyDeriver(catalog)
         self._estimator = CardinalityEstimator(catalog, stats)
         if config.sanitize_plans:
@@ -108,16 +152,27 @@ class Optimizer:
 
     def optimize(self, tree: LogicalOp) -> OptimizeResult:
         """Optimize a logical query tree into a physical plan."""
+        try:
+            return self._optimize(tree)
+        except OptimizationError:
+            if self.metrics is not None:
+                self.metrics.counter("optimizer.optimization_errors").inc()
+            raise
+
+    def _optimize(self, tree: LogicalOp) -> OptimizeResult:
+        tracer = self.tracer
         output_columns = self._deriver.derive_tree(tree).columns
         memo = Memo(
             self._deriver,
             self._estimator,
             self.config.max_groups,
             self.config.max_exprs_per_group,
+            tracer=tracer,
         )
         ctx = OptimizerContext(memo, self._deriver, self._estimator, self.catalog)
         exercised: Set[str] = set()
         interactions: Set[tuple] = set()
+        tally = _RuleTally()
         budget_exhausted = False
         applications = 0
 
@@ -136,24 +191,19 @@ class Optimizer:
             for rule in self.registry.exploration_rules
             if not self.config.is_disabled(rule.name)
         ]
-        try:
-            while queue:
-                expr = queue.popleft()
-                for rule in active_rules:
-                    if applications >= self.config.max_rule_applications:
-                        raise MemoBudgetExceeded("rule application cap")
-                    if rule.name in expr.applied_rules:
-                        continue
-                    expr.applied_rules.add(rule.name)
-                    new_exprs = self._apply_rule(
-                        rule, expr, memo, ctx, exercised, interactions
-                    )
-                    if new_exprs is None:
-                        continue
-                    applications += 1
-                    queue.extend(new_exprs)
-        except MemoBudgetExceeded:
-            budget_exhausted = True
+        with tracer.span("optimize.explore", cat="optimizer"):
+            try:
+                self._explore(
+                    queue, active_rules, memo, ctx, exercised, interactions,
+                    tally, tracer,
+                )
+            except MemoBudgetExceeded:
+                budget_exhausted = True
+                if tracer.enabled:
+                    tracer.event("optimize.budget_exhausted", cat="optimizer")
+        applications = sum(
+            counts[1] for counts in tally.counts.values()
+        )
 
         # -------------------------------------------------------- implement
         implementer = _Implementer(
@@ -166,13 +216,17 @@ class Optimizer:
             ],
             exercised,
             sanitizer=self._sanitizer,
+            tracer=tracer,
+            tally=tally,
         )
-        winner = implementer.best_plan(root_id, ())
-        if winner is None or winner.cost == INFINITE_COST:
-            raise OptimizationError(
-                "no physical plan found (are implementation rules disabled?)"
-            )
-        plan = implementer.extract(root_id, ())
+        with tracer.span("optimize.implement", cat="optimizer"):
+            winner = implementer.best_plan(root_id, ())
+            if winner is None or winner.cost == INFINITE_COST:
+                raise OptimizationError(
+                    "no physical plan found "
+                    "(are implementation rules disabled?)"
+                )
+            plan = implementer.extract(root_id, ())
         if self._sanitizer is not None:
             self._sanitizer.check_plan(plan, output_columns)
 
@@ -182,6 +236,17 @@ class Optimizer:
             rule_applications=applications,
             budget_exhausted=budget_exhausted,
         )
+        if tracer.enabled:
+            tracer.event(
+                "optimize.done",
+                cat="optimizer",
+                groups=stats.group_count,
+                exprs=stats.expr_count,
+                applications=applications,
+                costings=implementer.costings,
+                fired=",".join(sorted(exercised)),
+            )
+        self._record_metrics(tally, stats, implementer)
         return OptimizeResult(
             plan=plan,
             cost=winner.cost,
@@ -190,9 +255,91 @@ class Optimizer:
             logical_tree=tree,
             stats=stats,
             rule_interactions=frozenset(interactions),
+            rule_counters=tally.as_rule_counters(),
         )
 
+    def _record_metrics(
+        self, tally: _RuleTally, stats: MemoStats, implementer: "_Implementer"
+    ) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        handles = metrics.optimizer_handles()
+        handles["optimizations"].inc()
+        for name, counts in tally.counts.items():
+            considered, fired, rejected, precondition = metrics.rule_counters(
+                name
+            )
+            considered.inc(counts[0])
+            fired.inc(counts[1])
+            rejected.inc(counts[2])
+            if counts[3]:
+                precondition.inc(counts[3])
+        handles["applications"].inc(stats.rule_applications)
+        handles["costings"].inc(implementer.costings)
+        handles["enforcers"].inc(implementer.enforcers)
+        if stats.budget_exhausted:
+            handles["budget"].inc()
+        handles["groups"].observe(stats.group_count)
+        handles["exprs"].observe(stats.expr_count)
+
     # ---------------------------------------------------------------- private
+
+    def _explore(
+        self,
+        queue,
+        active_rules: List[Rule],
+        memo: Memo,
+        ctx: OptimizerContext,
+        exercised: Set[str],
+        interactions: Set[tuple],
+        tally: _RuleTally,
+        tracer: Tracer,
+    ) -> None:
+        """Drive exploration to fixpoint, recording per-rule outcomes."""
+        applications = 0
+        while queue:
+            expr = queue.popleft()
+            for rule in active_rules:
+                if applications >= self.config.max_rule_applications:
+                    raise MemoBudgetExceeded("rule application cap")
+                if rule.name in expr.applied_rules:
+                    continue
+                expr.applied_rules.add(rule.name)
+                counts = tally.for_rule(rule.name)
+                counts[0] += 1
+                if tracer.detailed:
+                    tracer.event(
+                        "rule.considered",
+                        rule=rule.name,
+                        group=expr.group_id,
+                        op=type(expr.op).__name__,
+                        phase="explore",
+                    )
+                new_exprs = self._apply_rule(
+                    rule, expr, memo, ctx, exercised, interactions, counts
+                )
+                if new_exprs is None:
+                    counts[2] += 1
+                    if tracer.detailed:
+                        tracer.event(
+                            "rule.rejected",
+                            rule=rule.name,
+                            group=expr.group_id,
+                            phase="explore",
+                        )
+                    continue
+                counts[1] += 1
+                applications += 1
+                if tracer.detailed:
+                    tracer.event(
+                        "rule.fired",
+                        rule=rule.name,
+                        group=expr.group_id,
+                        produced=len(new_exprs),
+                        phase="explore",
+                    )
+                queue.extend(new_exprs)
 
     def _apply_rule(
         self,
@@ -202,11 +349,21 @@ class Optimizer:
         ctx: OptimizerContext,
         exercised: Set[str],
         interactions: Set[tuple],
+        counts: Optional[List[int]] = None,
     ) -> Optional[List[GroupExpr]]:
         """Try ``rule`` on ``expr``; returns new exprs or None if no match."""
         produced_any = False
         for binding in bindings(expr.op, rule.pattern, memo):
             if not rule.precondition(binding, ctx):
+                if counts is not None:
+                    counts[3] += 1
+                if self.tracer.detailed:
+                    self.tracer.event(
+                        "rule.precondition_failed",
+                        rule=rule.name,
+                        group=expr.group_id,
+                        phase="explore",
+                    )
                 continue
             for substitute in rule.substitute(binding, ctx):
                 produced_any = True
@@ -242,12 +399,19 @@ class _Implementer:
         rules: List[Rule],
         exercised: Set[str],
         sanitizer=None,
+        tracer: Tracer = NULL_TRACER,
+        tally: Optional[_RuleTally] = None,
     ) -> None:
         self._memo = memo
         self._ctx = ctx
         self._rules = rules
         self._exercised = exercised
         self._sanitizer = sanitizer
+        self._tracer = tracer
+        self._tally = tally if tally is not None else _RuleTally()
+        #: Physical alternatives costed / Sort enforcers considered.
+        self.costings = 0
+        self.enforcers = 0
         self._winners: Dict[Tuple[int, Ordering], Optional[Winner]] = {}
         self._in_progress: Set[Tuple[int, Ordering]] = set()
 
@@ -275,10 +439,15 @@ class _Implementer:
 
         for expr in list(group.logical_exprs):
             for rule in self._rules:
+                counts = self._tally.for_rule(rule.name)
+                counts[0] += 1
+                produced_any = False
                 for binding in bindings(expr.op, rule.pattern, self._memo):
                     if not rule.precondition(binding, self._ctx):
+                        counts[3] += 1
                         continue
                     for phys in rule.substitute(binding, self._ctx):
+                        produced_any = True
                         self._exercised.add(rule.name)
                         candidate = self._cost_physical(
                             phys, group, required
@@ -287,9 +456,21 @@ class _Implementer:
                             best is None or candidate.cost < best.cost
                         ):
                             best = candidate
+                if produced_any:
+                    counts[1] += 1
+                    if self._tracer.detailed:
+                        self._tracer.event(
+                            "rule.fired",
+                            rule=rule.name,
+                            group=group_id,
+                            phase="implement",
+                        )
+                else:
+                    counts[2] += 1
 
         # Sort enforcer: take the unordered winner and sort it.
         if required:
+            self.enforcers += 1
             base = self.best_plan(group_id, ())
             if base is not None:
                 total = base.cost + sort_cost(group.estimate.rows)
@@ -321,7 +502,16 @@ class _Implementer:
         )
         if not ordering_satisfies(provided, required):
             return None
+        self.costings += 1
         cost = local_cost(phys, tuple(child_rows), group.estimate.rows)
+        if self._tracer.detailed:
+            self._tracer.event(
+                "costing",
+                cat="cost",
+                op=type(phys).__name__,
+                group=group.group_id,
+                cost=round(cost, 6),
+            )
         if self._sanitizer is not None:
             self._sanitizer.check_cost(phys, cost)
         cost += sum(winner.cost for winner in child_winners)

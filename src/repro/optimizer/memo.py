@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.logical.cardinality import CardinalityEstimator, RelEstimate
 from repro.logical.operators import GroupRef, LogicalOp
 from repro.logical.properties import LogicalProps, PropertyDeriver
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -77,11 +78,13 @@ class Memo:
         estimator: CardinalityEstimator,
         max_groups: int,
         max_exprs_per_group: int,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self._deriver = deriver
         self._estimator = estimator
         self._max_groups = max_groups
         self._max_exprs_per_group = max_exprs_per_group
+        self._tracer = tracer
         self.groups: List[Group] = []
         #: Global interning table: memo-form operator -> owning group id.
         self._interned: Dict[LogicalOp, int] = {}
@@ -131,6 +134,14 @@ class Memo:
         if expr is not None:
             self._fresh.append(expr)
         self._interned[memo_form] = group_id
+        if self._tracer.detailed:
+            self._tracer.event(
+                "memo.group",
+                cat="memo",
+                group=group_id,
+                op=type(memo_form).__name__,
+                groups=len(self.groups),
+            )
         return group_id
 
     def _derive(self, memo_form: LogicalOp):
@@ -165,6 +176,14 @@ class Memo:
             self._fresh.append(expr)
             if memo_form not in self._interned:
                 self._interned[memo_form] = group_id
+            if self._tracer.detailed:
+                self._tracer.event(
+                    "memo.expr",
+                    cat="memo",
+                    group=group_id,
+                    op=type(memo_form).__name__,
+                    exprs=len(group.logical_exprs),
+                )
         return expr
 
     def absorb_group(self, target_id: int, source_id: int) -> List[GroupExpr]:

@@ -30,6 +30,23 @@ class MemoStats:
 
 
 @dataclass(frozen=True)
+class RuleCounters:
+    """Per-rule attempt outcomes for one optimization.
+
+    ``considered`` counts (expression, rule) attempts; ``fired`` the
+    attempts whose substitution produced at least one alternative (the
+    paper's *exercised* predicate); ``rejected`` the rest (no pattern
+    binding, or every binding failed the precondition).  Always
+    ``considered == fired + rejected``.
+    """
+
+    name: str
+    considered: int
+    fired: int
+    rejected: int
+
+
+@dataclass(frozen=True)
 class OptimizeResult:
     """The output of one optimizer invocation."""
 
@@ -49,9 +66,18 @@ class OptimizeResult:
     #: where ``consumer`` was exercised on an expression created by
     #: ``producer``'s substitution.
     rule_interactions: FrozenSet[Tuple[str, str]] = frozenset()
+    #: Per-rule considered/fired/rejected counts, sorted by rule name.
+    rule_counters: Tuple[RuleCounters, ...] = ()
 
     def exercised(self, rule_name: str) -> bool:
         return rule_name in self.rules_exercised
 
     def exercised_all(self, rule_names) -> bool:
         return all(name in self.rules_exercised for name in rule_names)
+
+    def rule_firing_summary(self) -> Tuple[int, int, int]:
+        """Totals over :attr:`rule_counters`: (considered, fired, rejected)."""
+        considered = sum(c.considered for c in self.rule_counters)
+        fired = sum(c.fired for c in self.rule_counters)
+        rejected = sum(c.rejected for c in self.rule_counters)
+        return considered, fired, rejected

@@ -33,6 +33,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.catalog.schema import Catalog
 from repro.catalog.stats import StatsRepository
 from repro.logical.operators import LogicalOp
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.optimizer.config import DEFAULT_CONFIG, OptimizerConfig
 from repro.optimizer.engine import Optimizer
 from repro.optimizer.result import OptimizationError, OptimizeResult
@@ -117,6 +119,8 @@ class PlanService:
         cache_dir: Optional[Path] = None,
         memory_cache: bool = True,
         memory_limit: Optional[int] = 20_000,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if database is not None:
             catalog = catalog or database.catalog
@@ -131,6 +135,16 @@ class PlanService:
         self.config = config
         self.workers = max(1, int(workers))
         self.counters = ServiceStats()
+        #: Observability hooks (see :mod:`repro.obs`): the tracer records
+        #: cache/compute events and is handed to every Optimizer this
+        #: service constructs; the metrics registry mirrors
+        #: :class:`ServiceStats` as ``service.*`` counters and aggregates
+        #: per-rule optimizer counters, including worker-process merges.
+        self.tracer = tracer
+        self.metrics = metrics
+        #: Resolved Counter handles, so the per-request path validates
+        #: each ``service.*`` series name once (see ``_bump``).
+        self._metric_counters: Dict[str, object] = {}
         self._memory_cache_enabled = memory_cache
         #: FIFO bound on in-process entries; one-shot trees from generation
         #: campaigns age out first, long before the reusable suite traffic.
@@ -148,6 +162,17 @@ class PlanService:
 
     # ------------------------------------------------------------- plumbing
 
+    def _bump(self, name: str) -> None:
+        """Increment one :class:`ServiceStats` field and its metric twin."""
+        setattr(self.counters, name, getattr(self.counters, name) + 1)
+        if self.metrics is not None:
+            counter = self._metric_counters.get(name)
+            if counter is None:
+                counter = self._metric_counters[name] = self.metrics.counter(
+                    f"service.{name}"
+                )
+            counter.inc()
+
     def _resolve_config(self, config: Optional[OptimizerConfig]) -> OptimizerConfig:
         return self.config if config is None else config
 
@@ -163,7 +188,8 @@ class PlanService:
         optimizer = self._optimizers.get(config)
         if optimizer is None:
             optimizer = Optimizer(
-                self.catalog, self.stats, self.registry, config
+                self.catalog, self.stats, self.registry, config,
+                tracer=self.tracer, metrics=self.metrics,
             )
             self._optimizers[config] = optimizer
         return optimizer
@@ -204,12 +230,13 @@ class PlanService:
             self._disk.put(self._disk_key(key), self._record_for(key, entry))
 
     def _compute(self, tree: LogicalOp, config: OptimizerConfig) -> _Entry:
-        self.counters.computed += 1
-        try:
-            return _Entry(result=self._optimizer(config).optimize(tree))
-        except OptimizationError as exc:
-            self.counters.errors += 1
-            return _Entry(error=str(exc))
+        self._bump("computed")
+        with self.tracer.span("service.compute", cat="service"):
+            try:
+                return _Entry(result=self._optimizer(config).optimize(tree))
+            except OptimizationError as exc:
+                self._bump("errors")
+                return _Entry(error=str(exc))
 
     # ------------------------------------------------------------- requests
 
@@ -223,11 +250,21 @@ class PlanService:
         """
         config = self._resolve_config(config)
         key = self._key(tree, config)
-        self.counters.requests += 1
+        self._bump("requests")
         entry = self._entries.get(key)
         if entry is not None:
-            self.counters.memory_hits += 1
+            self._bump("memory_hits")
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "service.cache", cat="service",
+                    outcome="memory_hit", request="optimize",
+                )
         else:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "service.cache", cat="service",
+                    outcome="miss", request="optimize",
+                )
             entry = self._compute(tree, config)
             self._store(key, entry)
         if entry.result is None:
@@ -244,15 +281,30 @@ class PlanService:
         """
         config = self._resolve_config(config)
         key = self._key(tree, config)
-        self.counters.requests += 1
+        self._bump("requests")
         entry = self._entries.get(key)
         if entry is not None:
-            self.counters.memory_hits += 1
+            self._bump("memory_hits")
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "service.cache", cat="service",
+                    outcome="memory_hit", request="cost",
+                )
             return entry.cost
         record = self._lookup_record(key)
         if record is not None:
-            self.counters.disk_hits += 1
+            self._bump("disk_hits")
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "service.cache", cat="service",
+                    outcome="disk_hit", request="cost",
+                )
             return self._record_cost(record)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "service.cache", cat="service",
+                outcome="miss", request="cost",
+            )
         entry = self._compute(tree, config)
         self._store(key, entry)
         return entry.cost
@@ -301,10 +353,10 @@ class PlanService:
         pending: Dict[_CacheKey, _Pending] = {}
         for index, (tree, config) in enumerate(normalized):
             key = self._key(tree, config)
-            self.counters.requests += 1
+            self._bump("requests")
             entry = self._entries.get(key)
             if entry is not None:
-                self.counters.memory_hits += 1
+                self._bump("memory_hits")
                 outcomes[index] = entry
                 continue
             slot = pending.get(key)
@@ -314,8 +366,17 @@ class PlanService:
             slot.indices.append(index)
 
         if pending:
-            self.counters.batches += 1
-            computed = self._compute_batch(pending)
+            self._bump("batches")
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "service.batch", cat="service",
+                    requests=len(normalized), distinct=len(pending),
+                    hits=len(normalized) - sum(
+                        len(slot.indices) for slot in pending.values()
+                    ),
+                )
+            with self.tracer.span("service.batch_compute", cat="service"):
+                computed = self._compute_batch(pending)
             for key, entry in computed.items():
                 self._store(key, entry)
                 for index in pending[key].indices:
@@ -349,14 +410,14 @@ class PlanService:
             key = self._key(tree, resolved)
             entry = self._entries.get(key)
             if entry is not None:
-                self.counters.requests += 1
-                self.counters.memory_hits += 1
+                self._bump("requests")
+                self._bump("memory_hits")
                 costs[index] = entry.cost
                 continue
             record = self._lookup_record(key)
             if record is not None:
-                self.counters.requests += 1
-                self.counters.disk_hits += 1
+                self._bump("requests")
+                self._bump("disk_hits")
                 costs[index] = self._record_cost(record)
                 continue
             missing.append(index)
@@ -403,21 +464,26 @@ class PlanService:
             with ProcessPoolExecutor(
                 max_workers=min(self.workers, len(tasks)),
                 initializer=_worker.init_worker,
-                initargs=(payload,),
+                initargs=(payload, self.metrics is not None),
             ) as pool:
                 indexed = [
                     (position, slot.tree, slot.config)
                     for position, (_, slot) in enumerate(tasks)
                 ]
                 computed: Dict[_CacheKey, _Entry] = {}
-                for position, result, error in pool.map(
+                for position, result, error, metric_delta in pool.map(
                     _worker.optimize_task, indexed
                 ):
                     key = tasks[position][0]
-                    self.counters.computed += 1
-                    self.counters.parallel_tasks += 1
+                    self._bump("computed")
+                    self._bump("parallel_tasks")
+                    if metric_delta is not None and self.metrics is not None:
+                        # Fold this task's optimizer counters (measured in
+                        # the worker process) into the parent registry.
+                        self.metrics.merge(metric_delta)
+                        self.metrics.counter("service.worker_merges").inc()
                     if error is not None:
-                        self.counters.errors += 1
+                        self._bump("errors")
                         computed[key] = _Entry(error=error)
                     else:
                         computed[key] = _Entry(result=result)

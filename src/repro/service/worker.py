@@ -6,6 +6,12 @@ statistics, registry) through the pool initializer; the worker rebuilds an
 of the pool, so fanning out N requests costs one environment transfer per
 worker, not per request.
 
+When the parent service carries a :class:`~repro.obs.metrics.MetricsRegistry`
+each task also measures its optimizer counters into a fresh per-task
+registry and ships the snapshot back with the result; the parent merges
+the deltas so campaign reports see one coherent set of per-rule firing
+counts no matter how many processes did the work.
+
 Everything here is module-level so it pickles by reference under both the
 ``fork`` and ``spawn`` start methods.
 """
@@ -16,18 +22,24 @@ import pickle
 from typing import Dict, Optional, Tuple
 
 from repro.logical.operators import LogicalOp
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.engine import Optimizer
 from repro.optimizer.result import OptimizationError, OptimizeResult
 
 _ENVIRONMENT = None
 _OPTIMIZERS: Dict[OptimizerConfig, Optimizer] = {}
+_WANT_METRICS = False
+
+#: Snapshot type shipped back to the parent (``MetricsRegistry.snapshot()``).
+MetricDelta = Optional[Dict[str, Dict[str, object]]]
 
 
-def init_worker(payload: bytes) -> None:
+def init_worker(payload: bytes, want_metrics: bool = False) -> None:
     """Pool initializer: install the pickled (catalog, stats, registry)."""
-    global _ENVIRONMENT
+    global _ENVIRONMENT, _WANT_METRICS
     _ENVIRONMENT = pickle.loads(payload)
+    _WANT_METRICS = bool(want_metrics)
     _OPTIMIZERS.clear()
 
 
@@ -42,12 +54,26 @@ def _optimizer_for(config: OptimizerConfig) -> Optimizer:
 
 def optimize_task(
     task: Tuple[int, LogicalOp, OptimizerConfig],
-) -> Tuple[int, Optional[OptimizeResult], Optional[str]]:
+) -> Tuple[int, Optional[OptimizeResult], Optional[str], MetricDelta]:
     """Optimize one request; failures come back as messages, not raises,
     so one bad tree cannot poison a whole batch."""
     index, tree, config = task
+    optimizer = _optimizer_for(config)
+    delta: MetricDelta = None
+    if _WANT_METRICS:
+        # A fresh registry per task: the snapshot shipped back is exactly
+        # this task's contribution, so the parent-side merge never double
+        # counts however the pool schedules work.
+        metrics = MetricsRegistry()
+        optimizer.metrics = metrics
     try:
-        result = _optimizer_for(config).optimize(tree)
+        result = optimizer.optimize(tree)
     except OptimizationError as exc:
-        return index, None, str(exc)
-    return index, result, None
+        if _WANT_METRICS:
+            delta = metrics.snapshot()
+            optimizer.metrics = None
+        return index, None, str(exc), delta
+    if _WANT_METRICS:
+        delta = metrics.snapshot()
+        optimizer.metrics = None
+    return index, result, None, delta

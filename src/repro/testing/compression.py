@@ -83,6 +83,13 @@ class CompressionError(Exception):
     """Raised when no valid plan exists (e.g. too few covering queries)."""
 
 
+def _tracer(oracle: CostOracle):
+    """The oracle's service tracer, or None for plain test doubles."""
+    service = getattr(oracle, "service", None)
+    tracer = getattr(service, "tracer", None)
+    return tracer if tracer is not None and tracer.enabled else None
+
+
 def _batched_edge_costs(
     oracle: CostOracle, pairs: List[Tuple[SuiteQuery, RuleNode]]
 ) -> Dict[Tuple[RuleNode, int], float]:
@@ -96,6 +103,20 @@ def _batched_edge_costs(
         (node, query.query_id): cost
         for (query, node), cost in zip(pairs, costs)
     }
+
+
+def _trace_plan(oracle: CostOracle, plan: "CompressionPlan") -> "CompressionPlan":
+    """Emit one summary event per constructed compression plan."""
+    tracer = _tracer(oracle)
+    if tracer is not None:
+        tracer.event(
+            "compression.plan", cat="testing",
+            method=plan.method,
+            queries=len(plan.selected_query_ids),
+            edges=len(plan.edge_costs),
+            total_cost=round(plan.total_cost, 6),
+        )
+    return plan
 
 
 # ---------------------------------------------------------------- BASELINE
@@ -122,13 +143,13 @@ def baseline_plan(suite: TestSuite, oracle: CostOracle) -> CompressionPlan:
             node_costs[query.query_id] = query.cost
             pairs.append((query, node))
     edge_costs = _batched_edge_costs(oracle, pairs)
-    return CompressionPlan(
+    return _trace_plan(oracle, CompressionPlan(
         method="BASELINE",
         assignments=assignments,
         node_costs=node_costs,
         edge_costs=edge_costs,
         shares_queries=False,
-    )
+    ))
 
 
 # --------------------------------------------------------------------- SMC
@@ -190,12 +211,12 @@ def set_multicover_plan(
             for query_id in ids
         ],
     )
-    return CompressionPlan(
+    return _trace_plan(oracle, CompressionPlan(
         method="SMC",
         assignments=assignments,
         node_costs=node_costs,
         edge_costs=edge_costs,
-    )
+    ))
 
 
 # -------------------------------------------------------------------- TOPK
@@ -267,12 +288,12 @@ def top_k_independent_plan(
             edge_costs[(node, query_id)] = cost
 
     node_costs = {query.query_id: query.cost for query in suite.queries}
-    return CompressionPlan(
+    return _trace_plan(oracle, CompressionPlan(
         method="TOPK" + ("+MONO" if use_monotonicity else ""),
         assignments=assignments,
         node_costs=node_costs,
         edge_costs=edge_costs,
-    )
+    ))
 
 
 def _top_k_with_monotonicity(
@@ -344,10 +365,10 @@ def matching_plan(
         assignments[node].append(query.query_id)
         edge_costs[(node, query.query_id)] = oracle.cost_without(query, node)
     node_costs = {query.query_id: query.cost for query in queries}
-    return CompressionPlan(
+    return _trace_plan(oracle, CompressionPlan(
         method="MATCHING",
         assignments=assignments,
         node_costs=node_costs,
         edge_costs=edge_costs,
         shares_queries=False,  # by construction no query repeats
-    )
+    ))

@@ -84,6 +84,14 @@ class CorrectnessRunner:
 
     def run(self, plan: CompressionPlan, suite: TestSuite) -> CorrectnessReport:
         """Execute the test suite described by ``plan``."""
+        with self.service.tracer.span(
+            "correctness.run", cat="testing",
+            method=plan.method, queries=len(plan.selected_query_ids),
+        ):
+            return self._run(plan, suite)
+
+    def _run(self, plan: CompressionPlan, suite: TestSuite) -> CorrectnessReport:
+        tracer = self.service.tracer
         report = CorrectnessReport()
         baseline_results: Dict[int, QueryResult] = {}
         baseline_plans: Dict[int, object] = {}
@@ -125,6 +133,11 @@ class CorrectnessRunner:
                     # Identical plans guarantee identical results (paper,
                     # footnote 1): skip execution.
                     report.skipped_identical_plans += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "correctness.identical_plan", cat="testing",
+                            query=query_id, rules=",".join(node),
+                        )
                     continue
                 try:
                     alternative = execute_plan(
@@ -137,6 +150,11 @@ class CorrectnessRunner:
                     continue
                 report.disabled_plans_executed += 1
                 report.comparisons += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "correctness.comparison", cat="testing",
+                        query=query_id, rules=",".join(node),
+                    )
                 expected = baseline_results[query_id]
                 if not results_identical(expected, alternative):
                     report.issues.append(

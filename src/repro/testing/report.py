@@ -39,6 +39,11 @@ class CampaignResult:
     correctness: CorrectnessReport
     elapsed_seconds: float
     service_stats: Optional[Dict[str, int]] = None
+    #: ``(rule, considered, fired, rejected)`` rows aggregated over every
+    #: optimization the campaign ran (worker processes included), from the
+    #: service's :class:`~repro.obs.metrics.MetricsRegistry` when one is
+    #: attached.
+    rule_metrics: Optional[List[tuple]] = None
 
     @property
     def passed(self) -> bool:
@@ -77,14 +82,30 @@ class CampaignResult:
 
         lines.append("## Suite queries")
         lines.append("")
-        lines.append("| query | generated for | RuleSet(q) |")
-        lines.append("|---|---|---|")
+        lines.append(
+            "| query | generated for | considered | fired | rejected "
+            "| RuleSet(q) |"
+        )
+        lines.append("|---|---|---|---|---|---|")
         for query in self.suite.queries:
+            considered, fired, rejected = query.rule_firing
             lines.append(
                 f"| {query.query_id} | {' + '.join(query.generated_for)} | "
+                f"{considered} | {fired} | {rejected} | "
                 f"{', '.join(sorted(query.ruleset))} |"
             )
         lines.append("")
+
+        if self.rule_metrics:
+            lines.append("## Rule firing totals (all optimizations)")
+            lines.append("")
+            lines.append("| rule | considered | fired | rejected |")
+            lines.append("|---|---|---|---|")
+            for rule, considered, fired, rejected in self.rule_metrics:
+                lines.append(
+                    f"| {rule} | {considered} | {fired} | {rejected} |"
+                )
+            lines.append("")
 
         lines.append("## Test-suite compression")
         lines.append("")
@@ -173,4 +194,9 @@ def run_campaign(
         correctness=correctness,
         elapsed_seconds=time.perf_counter() - start,
         service_stats=service.counters.as_dict(),
+        rule_metrics=(
+            service.metrics.rule_table()
+            if service.metrics is not None
+            else None
+        ),
     )

@@ -40,6 +40,9 @@ class SuiteQuery:
     cost: float  # Cost(q), all rules enabled
     ruleset: FrozenSet[str]  # RuleSet(q): exploration rules exercised
     generated_for: RuleNode  # the rule node whose TS_i this query came from
+    #: Rule-attempt totals (considered, fired, rejected) observed while
+    #: optimizing this query -- the campaign report's firing columns.
+    rule_firing: Tuple[int, int, int] = (0, 0, 0)
 
     def exercises(self, node: RuleNode) -> bool:
         return all(name in self.ruleset for name in node)
@@ -87,6 +90,12 @@ class CostOracle:
             self.cache_hits += 1
             return self._cache[key]
         self.invocations += 1
+        tracer = self.service.tracer
+        if tracer.enabled:
+            tracer.event(
+                "oracle.cost_without", cat="testing",
+                query=query.query_id, rules=",".join(sorted(rules_off)),
+            )
         cost = self.service.cost(
             query.tree, self.config.with_disabled(rules_off)
         )
@@ -124,7 +133,12 @@ class CostOracle:
                 self.cache_hits += 1
                 slots.append(index)
         if requests:
-            for key, cost in zip(order, self.service.cost_many(requests)):
+            with self.service.tracer.span(
+                "oracle.cost_without_many", cat="testing",
+                requests=len(pairs), distinct=len(requests),
+            ):
+                resolved = self.service.cost_many(requests)
+            for key, cost in zip(order, resolved):
                 self._cache[key] = cost
                 for index in request_indices[key]:
                     costs[index] = cost
@@ -230,6 +244,7 @@ class TestSuiteBuilder:
                     cost=result.cost,
                     ruleset=result.rules_exercised & self._exploration_names,
                     generated_for=node,
+                    rule_firing=result.rule_firing_summary(),
                 )
                 queries.append(query)
                 seen_sql[outcome.sql] = query

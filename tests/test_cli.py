@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -178,3 +180,86 @@ class TestServiceFlags:
         out = capsys.readouterr().out
         assert "- plan service:" in out
         assert "## Suite queries" in out
+
+
+class TestTrace:
+    SQL = (
+        "SELECT c_name FROM customer JOIN orders "
+        "ON c_custkey = o_custkey WHERE o_totalprice > 100"
+    )
+
+    def test_text_has_hot_rule_table(self, capsys):
+        assert main(["trace", "--sql", self.SQL, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out
+        assert "hot rules (top 3 of" in out
+        assert "considered" in out and "fired" in out and "rejected" in out
+        assert "JoinCommutativity" in out
+
+    def test_requires_exactly_one_subject(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+        with pytest.raises(SystemExit):
+            main(["trace", "--sql", self.SQL, "--rule", "SelectMerge"])
+
+    def test_json_is_byte_identical_across_runs(self, capsys):
+        outputs = []
+        for _ in range(2):
+            assert main(
+                ["trace", "--sql", self.SQL, "--format", "json"]
+            ) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        assert payload["trace"]["events"]
+        assert payload["trace"]["dropped"] == 0
+        assert any(
+            key.startswith("optimizer.rule.fired{")
+            for key in payload["metrics"]["counters"]
+        )
+
+    def test_chrome_format_and_out_file(self, capsys, tmp_path):
+        target = tmp_path / "trace.json"
+        assert main(
+            ["trace", "--sql", self.SQL, "--format", "chrome",
+             "--out", str(target)]
+        ) == 0
+        assert str(target) in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["traceEvents"]
+
+    def test_rule_subject(self, capsys):
+        assert main(["trace", "--rule", "SelectMerge", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "rule SelectMerge:" in out
+        assert "SelectMerge" in out
+
+    def test_summary_detail_records_fewer_events(self, capsys):
+        assert main(["trace", "--sql", self.SQL, "--format", "json"]) == 0
+        full = len(json.loads(capsys.readouterr().out)["trace"]["events"])
+        assert main(
+            ["trace", "--sql", self.SQL, "--format", "json",
+             "--detail", "summary"]
+        ) == 0
+        summary = len(
+            json.loads(capsys.readouterr().out)["trace"]["events"]
+        )
+        assert summary < full / 10
+
+    def test_disable_rule_excludes_it(self, capsys):
+        assert main(
+            ["trace", "--sql", self.SQL, "--format", "json",
+             "--disable", "JoinCommutativity"]
+        ) == 0
+        counters = json.loads(capsys.readouterr().out)["metrics"]["counters"]
+        assert counters.get(
+            "optimizer.rule.fired{rule=JoinCommutativity}", 0
+        ) == 0
+
+    def test_campaign_subject(self, capsys):
+        assert main(
+            ["trace", "--campaign", "--rules", "2", "--detail", "summary"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign over 2 rules" in out
+        assert "service requests:" in out

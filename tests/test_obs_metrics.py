@@ -1,0 +1,198 @@
+"""Tests for the metrics registry: strict declarations, snapshots,
+cross-process merge semantics, and the optimizer/service integration."""
+
+import pytest
+
+from repro.obs import (
+    METRIC_DOCS,
+    MetricsRegistry,
+    documented_metrics,
+    parse_name,
+    render_name,
+)
+from repro.optimizer.config import DEFAULT_CONFIG
+from repro.service import PlanService
+from repro.sql.binder import sql_to_tree
+
+SQL = (
+    "SELECT c_name FROM customer JOIN orders ON c_custkey = o_custkey "
+    "WHERE o_totalprice > 100"
+)
+SQL_AGG = "SELECT o_custkey, COUNT(*) FROM orders GROUP BY o_custkey"
+
+
+class TestStrictDeclarations:
+    def test_undeclared_name_rejected(self):
+        with pytest.raises(KeyError, match="undeclared metric"):
+            MetricsRegistry().counter("optimizer.no_such_metric")
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(TypeError, match="declared as a counter"):
+            MetricsRegistry().gauge("optimizer.optimizations")
+
+    def test_wrong_labels_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError, match="expects labels"):
+            registry.counter("optimizer.rule.fired")  # missing rule=
+        with pytest.raises(KeyError, match="expects labels"):
+            registry.counter("optimizer.optimizations", rule="X")
+
+    def test_non_strict_accepts_anything(self):
+        registry = MetricsRegistry(strict=False)
+        registry.counter("totally.adhoc", shard="3").inc(7)
+        assert registry.counter_value("totally.adhoc", shard="3") == 7
+
+    def test_validation_is_memoized_not_skipped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("optimizer.rule.fired", rule="R")
+        # Repeats return the same handle (the hot-path cache)...
+        assert registry.counter("optimizer.rule.fired", rule="R") is counter
+        # ...but a new bad shape still fails.
+        with pytest.raises(KeyError):
+            registry.counter("optimizer.rule.fired", wrong="R")
+
+    def test_every_declaration_is_documented(self):
+        rows = list(documented_metrics())
+        assert [row[0] for row in rows] == sorted(METRIC_DOCS)
+        for name, kind, labels, description in rows:
+            assert kind in ("counter", "gauge", "histogram")
+            assert description.strip()
+            registry = MetricsRegistry()
+            handle = getattr(registry, kind)
+            handle(name, **{key: "x" for key in labels})  # must validate
+
+
+class TestNames:
+    def test_render_parse_roundtrip(self):
+        cases = [
+            ("plain.name", ()),
+            ("with.label", (("rule", "JoinCommutativity"),)),
+            ("two.labels", (("a", "1"), ("b", "2"))),
+        ]
+        for name, labels in cases:
+            assert parse_name(render_name(name, labels)) == (name, labels)
+
+
+class TestMergeSemantics:
+    def test_counters_add(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("optimizer.optimizations").inc(2)
+        second.counter("optimizer.optimizations").inc(3)
+        second.counter("optimizer.rule.fired", rule="R").inc()
+        first.merge(second.snapshot())
+        assert first.counter_value("optimizer.optimizations") == 5
+        assert first.counter_value("optimizer.rule.fired", rule="R") == 1
+
+    def test_gauges_keep_maximum(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.gauge("trace.dropped_events").set(10)
+        second.gauge("trace.dropped_events").set(4)
+        first.merge(second.snapshot())
+        assert first.gauge("trace.dropped_events").value == 10
+        second.gauge("trace.dropped_events").set(25)
+        first.merge(second.snapshot())
+        assert first.gauge("trace.dropped_events").value == 25
+
+    def test_histograms_combine_components(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.histogram("optimizer.memo.groups").observe(10)
+        second.histogram("optimizer.memo.groups").observe(2)
+        second.histogram("optimizer.memo.groups").observe(30)
+        first.merge(second.snapshot())
+        merged = first.histogram("optimizer.memo.groups")
+        assert merged.count == 3
+        assert merged.total == 42
+        assert (merged.min, merged.max) == (2, 30)
+        assert merged.mean == 14
+
+    def test_merge_into_empty_registry(self):
+        source = MetricsRegistry()
+        source.counter("service.requests").inc(9)
+        source.histogram("optimizer.memo.exprs").observe(5)
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_snapshot_is_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("optimizer.rule.fired", rule="B").inc()
+        registry.counter("optimizer.rule.fired", rule="A").inc()
+        keys = list(registry.snapshot()["counters"])
+        assert keys == sorted(keys)
+
+
+class TestOptimizerIntegration:
+    def test_optimize_populates_rule_counters(self, tpch_db, registry):
+        metrics = MetricsRegistry()
+        service = PlanService(tpch_db, registry=registry, metrics=metrics)
+        result = service.optimize(sql_to_tree(SQL, tpch_db.catalog))
+        assert metrics.counter_value("optimizer.optimizations") == 1
+        for rule in result.rules_exercised:
+            assert metrics.counter_value(
+                "optimizer.rule.fired", rule=rule
+            ) > 0
+        table = metrics.rule_table()
+        assert table == sorted(table, key=lambda row: (-row[2], row[0]))
+        fired = {rule for rule, _, fired_count, _ in table if fired_count}
+        assert result.rules_exercised <= fired
+
+    def test_result_counters_match_metrics(self, tpch_db, registry):
+        metrics = MetricsRegistry()
+        service = PlanService(tpch_db, registry=registry, metrics=metrics)
+        result = service.optimize(sql_to_tree(SQL_AGG, tpch_db.catalog))
+        for row in result.rule_counters:
+            assert metrics.counter_value(
+                "optimizer.rule.considered", rule=row.name
+            ) == row.considered
+            assert metrics.counter_value(
+                "optimizer.rule.fired", rule=row.name
+            ) == row.fired
+        considered, fired, rejected = result.rule_firing_summary()
+        assert considered == fired + rejected
+
+    def test_service_counters_have_metric_twins(self, tpch_db, registry):
+        metrics = MetricsRegistry()
+        service = PlanService(tpch_db, registry=registry, metrics=metrics)
+        tree = sql_to_tree(SQL, tpch_db.catalog)
+        service.optimize(tree)
+        service.optimize(tree)
+        assert metrics.counter_value("service.requests") == 2
+        assert metrics.counter_value("service.memory_hits") == 1
+        assert metrics.counter_value("service.computed") == 1
+
+
+class TestCrossProcessMerge:
+    def test_optimize_many_with_workers_merges_deltas(self, tpch_db, registry):
+        metrics = MetricsRegistry()
+        parallel = PlanService(
+            tpch_db, registry=registry, workers=2, metrics=metrics
+        )
+        trees = [
+            sql_to_tree(SQL, tpch_db.catalog),
+            sql_to_tree(SQL_AGG, tpch_db.catalog),
+            sql_to_tree(
+                "SELECT o_orderkey FROM orders WHERE o_totalprice > 900",
+                tpch_db.catalog,
+            ),
+        ]
+        results = parallel.optimize_many(
+            [(tree, DEFAULT_CONFIG) for tree in trees]
+        )
+        assert all(result is not None for result in results)
+        assert metrics.counter_value("service.worker_merges") == len(trees)
+        assert metrics.counter_value("optimizer.optimizations") == len(trees)
+
+        # The merged totals equal a serial run's totals: no double
+        # counting, nothing lost in the worker snapshots.
+        serial_metrics = MetricsRegistry()
+        serial = PlanService(
+            tpch_db, registry=registry, metrics=serial_metrics
+        )
+        for tree in trees:
+            serial.optimize(tree)
+        assert (
+            metrics.rule_table() == serial_metrics.rule_table()
+        )
+        assert metrics.counter_value(
+            "optimizer.costings"
+        ) == serial_metrics.counter_value("optimizer.costings")
