@@ -137,6 +137,64 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--output", help="write the markdown report to this file"
     )
+    campaign.add_argument(
+        "--mutants", type=int, default=0, metavar="N",
+        help="additionally run a mutation campaign sampled to at most N "
+        "mutants and append its kill matrix to the report",
+    )
+
+    mutate = commands.add_parser(
+        "mutate",
+        help="mutation campaign: auto-generated rule faults scored "
+        "against full vs compressed suites (see docs/TESTING.md)",
+    )
+    mutate.add_argument(
+        "--rules", type=int, default=10,
+        help="number of exploration rules to mutate (default 10)",
+    )
+    mutate.add_argument(
+        "--operators", action="append", default=None,
+        metavar="NAME",
+        help="mutation operator to apply, repeatable (default: all; see "
+        "`repro mutate --list-operators`)",
+    )
+    mutate.add_argument(
+        "--list-operators", action="store_true",
+        help="list available mutation operators and exit",
+    )
+    mutate.add_argument(
+        "--pool", type=int, default=8,
+        help="queries regenerated per mutant -- the FULL suite (default 8)",
+    )
+    mutate.add_argument(
+        "--k", type=int, default=2,
+        help="queries the compressed suites (SMC/TOPK) select (default 2)",
+    )
+    mutate.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="stride-sample the mutant set down to at most N mutants "
+        "(CI smoke mode)",
+    )
+    mutate.add_argument(
+        "--extra-operators", type=int, default=4,
+        help="extra random operators wrapped around generated queries",
+    )
+    mutate.add_argument(
+        "--pool-seeds", type=int, nargs="+", default=None, metavar="SEED",
+        help="generation seeds whose per-mutant pools are unioned "
+        "(default: the global --seed; more seeds = more detection power)",
+    )
+    mutate.add_argument(
+        "--format", choices=["text", "json", "markdown"], default="text",
+    )
+    mutate.add_argument(
+        "--output", help="write the report to this file instead of stdout"
+    )
+    mutate.add_argument(
+        "--fail-under", type=float, default=None, metavar="FRACTION",
+        help="exit non-zero when the FULL suite's detection score over "
+        "expected-detectable mutants is below this fraction (e.g. 0.9)",
+    )
 
     analyze = commands.add_parser(
         "analyze",
@@ -399,13 +457,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(outcome.sql)
         return 0
 
+    if args.command == "mutate":
+        return _run_mutate(args, database, registry)
+
     if args.command == "campaign":
         from repro.testing.report import run_campaign
 
         names = registry.exploration_rule_names[: args.rules]
         result = run_campaign(
             database, registry, rule_names=names, k=args.k, seed=args.seed,
-            service=service,
+            service=service, mutation_sample=args.mutants,
         )
         text = result.to_markdown()
         if args.output:
@@ -471,6 +532,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if report.at_or_above(threshold) else 0
 
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def _run_mutate(args, database, registry) -> int:
+    """The ``repro mutate`` subcommand: run the mutation campaign.
+
+    Per-mutant plan services are memory-only (mutated registries must not
+    share the name-keyed persistent cache), so the global ``--no-cache``
+    flag is irrelevant here; ``--workers`` is honoured per mutant.
+    """
+    from repro.obs import MetricsRegistry
+    from repro.testing.mutation import (
+        DEFAULT_OPERATORS,
+        MutationCampaign,
+    )
+
+    if args.list_operators:
+        for operator in DEFAULT_OPERATORS:
+            print(f"{operator.name:<20} {operator.description}")
+        return 0
+
+    metrics = MetricsRegistry()
+    campaign = MutationCampaign(
+        database,
+        registry,
+        pool=args.pool,
+        k=args.k,
+        seed=args.seed,
+        seeds=args.pool_seeds,
+        extra_operators=args.extra_operators,
+        workers=args.workers,
+        metrics=metrics,
+    )
+    names = registry.exploration_rule_names[: args.rules]
+    report = campaign.run(
+        names, operators=args.operators, sample=args.sample
+    )
+
+    if args.format == "json":
+        output = report.to_json()
+    elif args.format == "markdown":
+        output = report.to_markdown()
+    else:
+        output = report.to_text()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output + "\n")
+        print(f"report written to {args.output}")
+        if args.format != "text":
+            print(report.to_text())
+    else:
+        print(output)
+
+    score = report.detection_score("FULL")
+    if args.fail_under is not None:
+        if score is None or score < args.fail_under:
+            shown = "n/a" if score is None else f"{score:.0%}"
+            print(
+                f"FAILED: FULL detection score {shown} below "
+                f"--fail-under {args.fail_under:.0%}"
+            )
+            return 1
+    return 0
 
 
 def _run_trace(args, database, registry) -> int:

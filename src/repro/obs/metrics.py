@@ -114,6 +114,22 @@ METRIC_DOCS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
         "counter", (),
         "Worker metric snapshots merged back into this registry.",
     ),
+    # ------------------------------------------------------------- mutation
+    "mutation.mutants": (
+        "counter", ("operator",),
+        "Mutants evaluated by the mutation campaign, per mutation "
+        "operator.",
+    ),
+    "mutation.outcomes": (
+        "counter", ("variant", "status"),
+        "Kill-matrix cells: one increment per (suite variant, outcome "
+        "status) pair of every evaluated mutant.",
+    ),
+    "mutation.pool_queries": (
+        "counter", (),
+        "Pattern-based queries generated into mutant evaluation pools "
+        "(regenerated against each mutated registry).",
+    ),
     # ---------------------------------------------------------------- trace
     "trace.dropped_events": (
         "gauge", (),

@@ -39,6 +39,24 @@ class CorrectnessIssue:
         return f"[{rules}] query {self.query_id}: {self.detail}"
 
 
+@dataclass(frozen=True)
+class ComparisonRecord:
+    """Per-edge verdict: what happened for one ``(rule node, query)`` pair.
+
+    ``outcome`` is one of ``"identical"`` (plans matched, execution
+    skipped), ``"equal"`` (executed, bags matched), ``"mismatch"``
+    (executed, bags differed -- a correctness bug) or ``"error"``
+    (optimization or execution failed).  Baseline failures are recorded
+    with an empty rule node.  The mutation campaign derives per-suite
+    kill verdicts from these records without re-executing anything.
+    """
+
+    rule_node: RuleNode
+    query_id: int
+    outcome: str
+    detail: str = ""
+
+
 @dataclass
 class CorrectnessReport:
     """Outcome of executing one compression plan."""
@@ -49,6 +67,7 @@ class CorrectnessReport:
     comparisons: int = 0
     skipped_identical_plans: int = 0
     errors: List[str] = field(default_factory=list)
+    records: List[ComparisonRecord] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -90,6 +109,22 @@ class CorrectnessRunner:
         ):
             return self._run(plan, suite)
 
+    def _prewarm(self, plan: CompressionPlan, suite: TestSuite) -> None:
+        """Batch every Plan(q) / Plan(q, ¬R) the run will need through
+        ``optimize_many`` so distinct plans compute in parallel (when the
+        service has workers) and the serial loop below is all cache hits."""
+        requests = [
+            (suite.query(query_id).tree, self.config.with_disabled(()))
+            for query_id in sorted(plan.selected_query_ids)
+        ]
+        for node, query_ids in plan.assignments.items():
+            config = self.config.with_disabled(node)
+            requests.extend(
+                (suite.query(query_id).tree, config)
+                for query_id in query_ids
+            )
+        self.service.optimize_many(requests, return_errors=True)
+
     def _run(self, plan: CompressionPlan, suite: TestSuite) -> CorrectnessReport:
         tracer = self.service.tracer
         report = CorrectnessReport()
@@ -97,6 +132,7 @@ class CorrectnessRunner:
         baseline_plans: Dict[int, object] = {}
         baseline_costs: Dict[int, float] = {}
 
+        self._prewarm(plan, suite)
         for query_id in sorted(plan.selected_query_ids):
             query = suite.query(query_id)
             try:
@@ -109,6 +145,9 @@ class CorrectnessRunner:
                 report.queries_executed += 1
             except (OptimizationError, ExecutionError) as exc:
                 report.errors.append(f"query {query_id}: {exc}")
+                report.records.append(
+                    ComparisonRecord((), query_id, "error", str(exc))
+                )
 
         for node, query_ids in plan.assignments.items():
             for query_id in query_ids:
@@ -120,6 +159,9 @@ class CorrectnessRunner:
                 except OptimizationError as exc:
                     report.errors.append(
                         f"query {query_id} ¬{node}: {exc}"
+                    )
+                    report.records.append(
+                        ComparisonRecord(node, query_id, "error", str(exc))
                     )
                     continue
                 if self.monotonicity_guard is not None:
@@ -133,6 +175,9 @@ class CorrectnessRunner:
                     # Identical plans guarantee identical results (paper,
                     # footnote 1): skip execution.
                     report.skipped_identical_plans += 1
+                    report.records.append(
+                        ComparisonRecord(node, query_id, "identical")
+                    )
                     if tracer.enabled:
                         tracer.event(
                             "correctness.identical_plan", cat="testing",
@@ -147,6 +192,9 @@ class CorrectnessRunner:
                     report.errors.append(
                         f"query {query_id} ¬{node}: {exc}"
                     )
+                    report.records.append(
+                        ComparisonRecord(node, query_id, "error", str(exc))
+                    )
                     continue
                 report.disabled_plans_executed += 1
                 report.comparisons += 1
@@ -157,12 +205,20 @@ class CorrectnessRunner:
                     )
                 expected = baseline_results[query_id]
                 if not results_identical(expected, alternative):
+                    detail = diff_summary(expected, alternative)
                     report.issues.append(
                         CorrectnessIssue(
                             rule_node=node,
                             query_id=query_id,
                             sql=query.sql,
-                            detail=diff_summary(expected, alternative),
+                            detail=detail,
                         )
+                    )
+                    report.records.append(
+                        ComparisonRecord(node, query_id, "mismatch", detail)
+                    )
+                else:
+                    report.records.append(
+                        ComparisonRecord(node, query_id, "equal")
                     )
         return report

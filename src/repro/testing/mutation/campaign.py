@@ -1,0 +1,514 @@
+"""The mutation campaign: score the framework's fault-detection power.
+
+For every auto-generated mutant (see :mod:`.operators`) the campaign
+simulates one buggy optimizer build, exactly the way the paper's framework
+would test it:
+
+1. swap the mutant into the registry (``with_replaced_rule``) and stand up
+   a memory-only :class:`PlanService` for the mutated build (mutated
+   registries must never share the name-keyed on-disk plan cache);
+2. regenerate the rule's pattern-based suite *against the mutated
+   registry* -- queries are drawn from the mutant's own pattern and
+   ``RuleSet``, which is what makes dropped preconditions and widened
+   patterns reachable at all; with several ``seeds`` the per-seed pools
+   are unioned, because whether one generated query makes the optimizer
+   *choose* the buggy alternative is strongly seed-dependent;
+3. compress that pool with SMC and TOPK (each selects ``k`` of the
+   ``pool`` generated queries, using the mutated build's own costs);
+4. run the :class:`CorrectnessRunner` once over the whole pool -- plan
+   traffic prewarmed through ``optimize_many`` -- and derive the verdict
+   of every suite variant (FULL / SMC / TOPK) from the per-edge
+   :class:`ComparisonRecord` list, so compressed variants never pay a
+   second execution pass.
+
+Per mutant and variant the kill matrix records one status:
+
+============  ==============================================================
+``KILLED``    a ``Plan(q)`` vs ``Plan(q, ¬R)`` bag mismatch (detected)
+``CRASHED``   the mutant made optimization or execution fail (detected)
+``NO_FIRE``   generation could not exercise the mutated rule at all --
+              flagged by the generation module, not the oracle (detected)
+``EQUIVALENT``  every disabled plan was structurally identical; the mutant
+              never changed a chosen plan
+``SURVIVED``  plans differed, results matched everywhere (not detected)
+``NOT_COVERED``  the variant selected no queries (compression infeasible)
+============  ==============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.optimizer.config import DEFAULT_CONFIG, OptimizerConfig
+from repro.optimizer.result import OptimizationError
+from repro.rules.registry import RuleRegistry
+from repro.service import PlanService
+from repro.storage.database import Database
+from repro.testing.compression import (
+    CompressionError,
+    CompressionPlan,
+    set_multicover_plan,
+    top_k_independent_plan,
+)
+from repro.testing.correctness import CorrectnessRunner
+from repro.testing.mutation.operators import Mutant, generate_mutants
+from repro.testing.suite import CostOracle, RuleNode, TestSuite, TestSuiteBuilder
+
+KILLED = "KILLED"
+CRASHED = "CRASHED"
+NO_FIRE = "NO_FIRE"
+EQUIVALENT = "EQUIVALENT"
+SURVIVED = "SURVIVED"
+NOT_COVERED = "NOT_COVERED"
+
+#: Statuses that count as the framework catching the fault.  ``NO_FIRE``
+#: is detection by the *generation* module (a rule that can no longer be
+#: exercised fails suite generation loudly), not by the oracle.
+DETECTED_STATUSES = frozenset({KILLED, CRASHED, NO_FIRE})
+
+#: Suite variants scored by the campaign, in reporting order.
+VARIANTS = ("FULL", "SMC", "TOPK")
+
+_VERDICT_RANK = {"identical": 0, "equal": 1, "error": 2, "mismatch": 3}
+
+
+@dataclass(frozen=True)
+class VariantOutcome:
+    """One cell of the kill matrix."""
+
+    variant: str
+    status: str
+    query_ids: Tuple[int, ...]
+    detail: str = ""
+
+    @property
+    def detected(self) -> bool:
+        return self.status in DETECTED_STATUSES
+
+
+@dataclass(frozen=True)
+class MutantOutcome:
+    """One kill-matrix row: a mutant and its per-variant verdicts."""
+
+    mutant_id: str
+    rule_name: str
+    operator: str
+    description: str
+    expected_detectable: bool
+    expectation_note: str
+    pool_size: int
+    variants: Dict[str, VariantOutcome]
+
+    def status(self, variant: str) -> str:
+        return self.variants[variant].status
+
+    def detected(self, variant: str) -> bool:
+        return self.variants[variant].detected
+
+
+@dataclass
+class MutationReport:
+    """The campaign's kill matrix plus its derived detection scores."""
+
+    rule_names: List[str]
+    operators: List[str]
+    pool: int
+    k: int
+    seed: int
+    extra_operators: int
+    #: Every generation seed whose pool was unioned (first == ``seed``).
+    seeds: Tuple[int, ...] = ()
+    outcomes: List[MutantOutcome] = field(default_factory=list)
+    service_stats: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------- scoring
+
+    def expected(self) -> List[MutantOutcome]:
+        return [o for o in self.outcomes if o.expected_detectable]
+
+    def detected_ids(self, variant: str) -> List[str]:
+        return [
+            o.mutant_id for o in self.outcomes if o.detected(variant)
+        ]
+
+    def surviving_ids(self, variant: str) -> List[str]:
+        """Expected-detectable mutants this variant failed to catch --
+        always reported, never silently dropped."""
+        return [
+            o.mutant_id
+            for o in self.expected()
+            if not o.detected(variant)
+        ]
+
+    def unexpected_detections(self, variant: str) -> List[str]:
+        """Mutants curated as not-detectable that the *oracle* caught
+        anyway (a sign the expectation table needs updating).  ``NO_FIRE``
+        does not count: for availability mutants it is the anticipated,
+        already-documented outcome, not an oracle detection.
+        """
+        return [
+            o.mutant_id
+            for o in self.outcomes
+            if not o.expected_detectable
+            and o.status(variant) in (KILLED, CRASHED)
+        ]
+
+    def detection_score(self, variant: str) -> Optional[float]:
+        """Detected / expected-detectable; ``None`` with no expectations."""
+        expected = self.expected()
+        if not expected:
+            return None
+        detected = sum(1 for o in expected if o.detected(variant))
+        return detected / len(expected)
+
+    def relative_score(self, variant: str) -> Optional[float]:
+        """Detection relative to FULL (the paper-validating ratio)."""
+        full = self.detection_score("FULL")
+        score = self.detection_score(variant)
+        if full is None or score is None or full == 0:
+            return None
+        return score / full
+
+    def status_counts(self, variant: str) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            status = outcome.status(variant)
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    # ----------------------------------------------------------- rendering
+
+    def to_dict(self) -> dict:
+        """Deterministic (timing-free) JSON-ready form."""
+        from repro.testing.mutation.reporting import report_to_dict
+
+        return report_to_dict(self)
+
+    def to_json(self) -> str:
+        from repro.testing.mutation.reporting import report_to_json
+
+        return report_to_json(self)
+
+    def to_markdown(self) -> str:
+        from repro.testing.mutation.reporting import report_to_markdown
+
+        return report_to_markdown(self)
+
+    def to_text(self) -> str:
+        from repro.testing.mutation.reporting import report_to_text
+
+        return report_to_text(self)
+
+
+class MutationCampaign:
+    """Drives the mutant set through generation, compression and the
+    correctness runner; produces a :class:`MutationReport`."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: Optional[RuleRegistry] = None,
+        *,
+        pool: int = 6,
+        k: int = 2,
+        seed: int = 0,
+        seeds: Optional[Sequence[int]] = None,
+        extra_operators: int = 2,
+        max_trials: int = 30,
+        workers: int = 1,
+        config: OptimizerConfig = DEFAULT_CONFIG,
+        metrics=None,
+    ) -> None:
+        if k > pool:
+            raise ValueError(f"compressed k={k} cannot exceed pool={pool}")
+        from repro.rules.registry import default_registry
+
+        self.database = database
+        self.registry = registry or default_registry()
+        self.pool = pool
+        self.k = k
+        #: Generation seeds; each contributes a ``pool``-query suite and
+        #: the union is scored (detection power is seed-dependent).
+        self.seeds = tuple(seeds) if seeds else (seed,)
+        self.seed = self.seeds[0]
+        self.extra_operators = extra_operators
+        self.max_trials = max_trials
+        self.workers = workers
+        self.config = config
+        self.metrics = metrics
+        #: Aggregated counters over every per-mutant service.
+        self._stats: Dict[str, int] = {}
+
+    # --------------------------------------------------------------- public
+
+    def run(
+        self,
+        rule_names: Optional[Sequence[str]] = None,
+        operators: Optional[Iterable[str]] = None,
+        sample: Optional[int] = None,
+    ) -> MutationReport:
+        """Evaluate every mutant of ``rule_names`` x ``operators``.
+
+        ``sample`` caps the mutant count by deterministic stride sampling
+        (used by the CI smoke job), keeping rule/operator spread instead
+        of truncating to a prefix.
+        """
+        if rule_names is None:
+            rule_names = self.registry.exploration_rule_names
+        rule_names = list(rule_names)
+        mutants = generate_mutants(self.registry, rule_names, operators)
+        if sample is not None and 0 < sample < len(mutants):
+            stride = max(1, len(mutants) // sample)
+            mutants = mutants[::stride][:sample]
+        report = MutationReport(
+            rule_names=rule_names,
+            operators=sorted({mutant.operator for mutant in mutants}),
+            pool=self.pool,
+            k=self.k,
+            seed=self.seed,
+            extra_operators=self.extra_operators,
+            seeds=self.seeds,
+        )
+        for mutant in mutants:
+            outcome = self._evaluate(mutant)
+            report.outcomes.append(outcome)
+            self._count_outcome(outcome)
+        report.service_stats = dict(self._stats) or None
+        return report
+
+    # ------------------------------------------------------------ internals
+
+    def _service(self, registry: RuleRegistry) -> PlanService:
+        # Memory-only on purpose: the persistent cache keys environments
+        # by rule *names*, which a mutated registry shares with the clean
+        # one -- a disk hit would silently answer with clean-build plans.
+        return PlanService(
+            self.database,
+            registry=registry,
+            config=self.config,
+            workers=self.workers,
+            cache_dir=None,
+            metrics=self.metrics,
+        )
+
+    def _evaluate(self, mutant: Mutant) -> MutantOutcome:
+        node: RuleNode = (mutant.rule_name,)
+        try:
+            registry = self.registry.with_replaced_rule(mutant.build())
+        except Exception as exc:  # defensive: a mutant that cannot build
+            return self._uniform(mutant, CRASHED, _describe(exc), 0)
+        service = self._service(registry)
+        try:
+            queries, no_fire, crash = self._build_pool(
+                node, registry, service
+            )
+            if crash is not None:
+                return self._uniform(mutant, CRASHED, crash, 0)
+            if not queries:
+                # No seed could exercise the mutated rule: the generation
+                # module itself flags this build.
+                return self._uniform(mutant, NO_FIRE, no_fire, 0)
+            suite = TestSuite(rule_nodes=[node], queries=queries, k=self.k)
+            selections, selection_details = self._select(
+                suite, node, registry, service
+            )
+            verdicts = self._verdicts(suite, node, registry, service)
+        finally:
+            for key, value in service.counters.as_dict().items():
+                self._stats[key] = self._stats.get(key, 0) + value
+        variants = {}
+        for variant in VARIANTS:
+            subset = selections[variant]
+            if subset is None:
+                variants[variant] = VariantOutcome(
+                    variant, NOT_COVERED, (),
+                    selection_details.get(variant, ""),
+                )
+                continue
+            status, detail = _classify(verdicts, subset)
+            variants[variant] = VariantOutcome(
+                variant, status, tuple(subset), detail
+            )
+        return MutantOutcome(
+            mutant_id=mutant.mutant_id,
+            rule_name=mutant.rule_name,
+            operator=mutant.operator,
+            description=mutant.description,
+            expected_detectable=mutant.expected_detectable,
+            expectation_note=mutant.expectation_note,
+            pool_size=suite.size,
+            variants=variants,
+        )
+
+    def _build_pool(self, node, registry, service):
+        """Union the per-seed pools into one renumbered query list.
+
+        Returns ``(queries, no_fire_detail, crash_detail)``: generation
+        failing under *every* seed is a NO_FIRE verdict, any non-RuntimeError
+        during a build is a crash attributable to the mutant.
+        """
+        queries = []
+        no_fire = ""
+        for seed in self.seeds:
+            builder = TestSuiteBuilder(
+                self.database,
+                registry,
+                seed=seed,
+                extra_operators=self.extra_operators,
+                max_trials=self.max_trials,
+                service=service,
+            )
+            try:
+                generated = builder.build([node], k=self.pool)
+            except RuntimeError as exc:
+                no_fire = str(exc)
+                continue
+            except Exception as exc:
+                return [], "", _describe(exc)
+            # TestSuite.query() indexes by position: keep ids sequential
+            # across the unioned per-seed pools.
+            base = len(queries)
+            queries.extend(
+                replace(query, query_id=base + position)
+                for position, query in enumerate(generated.queries)
+            )
+        return queries, no_fire, None
+
+    def _select(self, suite, node, registry, service):
+        """FULL plus the SMC/TOPK selections within the mutant's pool."""
+        oracle = CostOracle(
+            self.database, registry, config=self.config, service=service
+        )
+        selections: Dict[str, Optional[Tuple[int, ...]]] = {
+            "FULL": tuple(query.query_id for query in suite.queries)
+        }
+        details: Dict[str, str] = {}
+        for name, maker in (
+            ("SMC", set_multicover_plan),
+            ("TOPK", top_k_independent_plan),
+        ):
+            try:
+                plan = maker(suite, oracle)
+                selections[name] = tuple(sorted(plan.assignments[node]))
+            except CompressionError as exc:
+                selections[name] = None
+                details[name] = str(exc)
+        return selections, details
+
+    def _verdicts(self, suite, node, registry, service):
+        """Per-query verdict for the whole pool, in one execution pass.
+
+        Plan traffic is prewarmed in one ``optimize_many`` batch; queries
+        whose optimization *crashes* (a non-``OptimizationError`` raised
+        by the buggy substitute) are probed out first so the runner's
+        serial pass only sees well-behaved requests.
+        """
+        base_config = self.config.with_disabled(())
+        off_config = self.config.with_disabled(node)
+        verdicts: Dict[int, Tuple[str, str]] = {}
+        healthy: List[int] = []
+        requests = []
+        for query in suite.queries:
+            requests.append((query.tree, base_config))
+            requests.append((query.tree, off_config))
+        try:
+            service.optimize_many(requests, return_errors=True)
+            healthy = [query.query_id for query in suite.queries]
+        except Exception:
+            for query in suite.queries:
+                crash = None
+                for config in (base_config, off_config):
+                    try:
+                        service.optimize(query.tree, config)
+                    except OptimizationError:
+                        pass  # the runner records these as error verdicts
+                    except Exception as exc:
+                        crash = _describe(exc)
+                        break
+                if crash is None:
+                    healthy.append(query.query_id)
+                else:
+                    verdicts[query.query_id] = ("error", crash)
+        plan = CompressionPlan(
+            method="MUTATION",
+            assignments={node: healthy},
+            node_costs={
+                query.query_id: query.cost for query in suite.queries
+            },
+            edge_costs={(node, query_id): 0.0 for query_id in healthy},
+        )
+        runner = CorrectnessRunner(
+            self.database, registry, config=self.config, service=service
+        )
+        try:
+            report = runner.run(plan, suite)
+        except Exception as exc:
+            # An unattributable crash inside execution: blame every
+            # query we could not clear individually.
+            detail = _describe(exc)
+            for query_id in healthy:
+                verdicts.setdefault(query_id, ("error", detail))
+            return verdicts
+        for record in report.records:
+            current = verdicts.get(record.query_id)
+            if (
+                current is None
+                or _VERDICT_RANK[record.outcome]
+                > _VERDICT_RANK[current[0]]
+            ):
+                verdicts[record.query_id] = (record.outcome, record.detail)
+        return verdicts
+
+    def _uniform(
+        self, mutant: Mutant, status: str, detail: str, pool_size: int
+    ) -> MutantOutcome:
+        return MutantOutcome(
+            mutant_id=mutant.mutant_id,
+            rule_name=mutant.rule_name,
+            operator=mutant.operator,
+            description=mutant.description,
+            expected_detectable=mutant.expected_detectable,
+            expectation_note=mutant.expectation_note,
+            pool_size=pool_size,
+            variants={
+                variant: VariantOutcome(variant, status, (), detail)
+                for variant in VARIANTS
+            },
+        )
+
+    def _count_outcome(self, outcome: MutantOutcome) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "mutation.mutants", operator=outcome.operator
+        ).inc()
+        for variant, result in outcome.variants.items():
+            self.metrics.counter(
+                "mutation.outcomes", variant=variant, status=result.status
+            ).inc()
+        self.metrics.counter("mutation.pool_queries").inc(
+            outcome.pool_size
+        )
+
+
+def _classify(
+    verdicts: Dict[int, Tuple[str, str]], subset: Sequence[int]
+) -> Tuple[str, str]:
+    """Fold per-query verdicts of a variant's selection into one status."""
+    picked = [
+        (query_id,) + verdicts.get(query_id, ("identical", ""))
+        for query_id in subset
+    ]
+    for wanted, status in (("mismatch", KILLED), ("error", CRASHED)):
+        hits = [p for p in picked if p[1] == wanted]
+        if hits:
+            query_id, _, detail = hits[0]
+            return status, f"query {query_id}: {detail}"
+    if picked and all(p[1] == "identical" for p in picked):
+        return EQUIVALENT, ""
+    return SURVIVED, ""
+
+
+def _describe(exc: Exception) -> str:
+    return f"{type(exc).__name__}: {exc}"

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testing.mutation import MutationReport
 
 from repro.rules.registry import RuleRegistry
 from repro.service import PlanService
@@ -39,6 +42,9 @@ class CampaignResult:
     correctness: CorrectnessReport
     elapsed_seconds: float
     service_stats: Optional[Dict[str, int]] = None
+    #: Optional mutation-campaign kill matrix (``run_campaign`` with
+    #: ``mutation_sample > 0``); ``None`` when mutation scoring was off.
+    mutation: Optional["MutationReport"] = None
     #: ``(rule, considered, fired, rejected)`` rows aggregated over every
     #: optimization the campaign ran (worker processes included), from the
     #: service's :class:`~repro.obs.metrics.MetricsRegistry` when one is
@@ -140,6 +146,9 @@ class CampaignResult:
         for error in report.errors:
             lines.append(f"- ERROR: {error}")
         lines.append("")
+
+        if self.mutation is not None:
+            lines.append(self.mutation.to_markdown())
         return "\n".join(lines)
 
 
@@ -151,12 +160,17 @@ def run_campaign(
     seed: int = 0,
     extra_operators: int = 2,
     service: Optional[PlanService] = None,
+    mutation_sample: int = 0,
 ) -> CampaignResult:
     """Run the full pipeline and collect a :class:`CampaignResult`.
 
     All Plan/Cost traffic of every stage flows through one shared
     :class:`PlanService`, so later stages reuse the optimizations the
-    earlier ones already paid for.
+    earlier ones already paid for.  With ``mutation_sample > 0`` the
+    campaign additionally scores fault detection over (at most) that many
+    auto-generated rule mutants; mutant evaluation uses its own
+    memory-only services (mutated registries must not share the
+    name-keyed persistent cache).
     """
     start = time.perf_counter()
     if rule_names is None:
@@ -185,6 +199,16 @@ def run_campaign(
         database, registry, service=service
     ).run(cheapest, suite)
 
+    mutation = None
+    if mutation_sample > 0:
+        from repro.testing.mutation import MutationCampaign
+
+        mutation = MutationCampaign(
+            database, registry, pool=max(k, 2), k=max(k - 1, 1),
+            seed=seed, extra_operators=extra_operators,
+            metrics=service.metrics,
+        ).run(rule_names, sample=mutation_sample)
+
     return CampaignResult(
         rule_names=rule_names,
         coverage=coverage,
@@ -192,6 +216,7 @@ def run_campaign(
         plans=plans,
         executed_method=cheapest.method,
         correctness=correctness,
+        mutation=mutation,
         elapsed_seconds=time.perf_counter() - start,
         service_stats=service.counters.as_dict(),
         rule_metrics=(

@@ -11,6 +11,9 @@ shared :class:`PlanService`, and writes a timing/cache-stats JSON artifact:
 * **Service check:** the edge-cost pass is then repeated with a fresh cost
   oracle against the same service; the second pass must be answered with a
   nonzero number of fingerprint-cache hits.
+* **Mutation check:** a small mutation campaign (handwritten faults under
+  the multi-seed kill configuration) must run end-to-end, classify every
+  mutant, and kill all four injected faults under the FULL suite.
 * **Tracing check:** the reduced Figure 8 pass is re-run with the
   recording tracer and metrics registry attached.  Tracing must not change
   any generation outcome (same trials, same plan costs), must keep the
@@ -200,6 +203,39 @@ def tracing_smoke(database, registry, rules: int, k: int, trace_out) -> dict:
     }
 
 
+def mutation_smoke(registry) -> dict:
+    """Reduced mutation campaign: the four handwritten faults under the
+    multi-seed configuration the kill-tests use (docs/TESTING.md).
+
+    Runs against the seed-1 database the kill configuration is calibrated
+    for -- fault detection depends on the data distribution as much as on
+    the generation seeds (on the seed-0 database the eager-aggregation
+    fault survives these seeds).
+    """
+    from repro.testing.mutation import MutationCampaign
+
+    database = tpch_database(seed=1)
+    start = time.perf_counter()
+    campaign = MutationCampaign(
+        database, registry, pool=8, k=2, seeds=(11, 23, 37),
+        extra_operators=2,
+    )
+    report = campaign.run(operators=["handwritten"])
+    statuses = {
+        outcome.mutant_id: outcome.status("FULL")
+        for outcome in report.outcomes
+    }
+    return {
+        "seconds": time.perf_counter() - start,
+        "mutants": len(report.outcomes),
+        "full_statuses": statuses,
+        "full_score": report.detection_score("FULL"),
+        "smc_relative": report.relative_score("SMC"),
+        "topk_relative": report.relative_score("TOPK"),
+        "survivors_full": report.surviving_ids("FULL"),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rules", type=int, default=4)
@@ -222,6 +258,7 @@ def main(argv=None) -> int:
 
     fig8 = fig8_smoke(database, registry, service, args.rules)
     fig14 = fig14_smoke(database, registry, service, args.rules, args.k)
+    mutation = mutation_smoke(registry)
     tracing = tracing_smoke(
         database, registry, args.rules, args.k, args.trace_out
     )
@@ -233,6 +270,7 @@ def main(argv=None) -> int:
         },
         "fig8": fig8,
         "fig14": fig14,
+        "mutation": mutation,
         "tracing": tracing,
         "service": service.counters.as_dict(),
     }
@@ -248,6 +286,11 @@ def main(argv=None) -> int:
         failures.append("fig14: monotonicity changed the solution cost")
     if fig14["warm_pass_cache_hits"] <= 0:
         failures.append("service: second edge-cost pass had no cache hits")
+    if mutation["full_score"] is None or mutation["full_score"] < 1.0:
+        failures.append(
+            "mutation: a handwritten fault survived the FULL suite "
+            f"({mutation['survivors_full']})"
+        )
     if not tracing["outcomes_identical"]:
         failures.append("tracing: changed a generation outcome or plan cost")
     if not tracing["fig14_counters_identical"]:
