@@ -1,6 +1,6 @@
 """Static analysis of the rule registry and optimizer plans.
 
-Three passes over a shared diagnostic model (see ``docs/ANALYSIS.md``):
+Six passes over a shared diagnostic model (see ``docs/ANALYSIS.md``):
 
 1. registry lint (:mod:`repro.analysis.lint`) -- pattern well-formedness,
    duplicate/subsumed patterns, dead rules, documentation drift;
@@ -8,13 +8,33 @@ Three passes over a shared diagnostic model (see ``docs/ANALYSIS.md``):
    synthesize bindings from each rule's pattern, apply the substitution,
    and check schema, keys, non-null columns and row bounds statically;
 3. the plan sanitizer (:mod:`repro.analysis.sanitize`) -- invariant checks
-   wired into the optimizer behind ``OptimizerConfig.sanitize_plans``.
+   wired into the optimizer behind ``OptimizerConfig.sanitize_plans``;
+4. the rule-interaction graph (:mod:`repro.analysis.interact`) -- which
+   rule's outputs feed which rule's pattern, with cycle/commuting/
+   redundancy/blind-spot findings over the graph;
+5. the implementation AST lint (:mod:`repro.analysis.astlint`) -- drift
+   between a rule's declared pattern and its Python implementation;
+6. the admission gate (:mod:`repro.analysis.gate`) -- RL+SV+AL+IG plus a
+   sampled dynamic differential check, composed into one pass/fail
+   verdict per candidate rule.
 """
 
+from repro.analysis.astlint import AstLinter
 from repro.analysis.bounds import BoundsDeriver, RowBounds
 from repro.analysis.context import TreeContext
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
-from repro.analysis.lint import RegistryLinter, pattern_subsumes
+from repro.analysis.gate import GateVerdict, RuleGate
+from repro.analysis.interact import (
+    InteractionAnalyzer,
+    InteractionEdge,
+    InteractionGraph,
+    interaction_markdown,
+)
+from repro.analysis.lint import (
+    RegistryLinter,
+    pattern_subsumes,
+    synthesize_bindings,
+)
 from repro.analysis.sanitize import (
     MonotonicityGuard,
     PlanSanitizer,
@@ -24,16 +44,24 @@ from repro.analysis.verify import SubstitutionVerifier, default_workloads
 
 __all__ = [
     "AnalysisReport",
+    "AstLinter",
     "BoundsDeriver",
     "Diagnostic",
+    "GateVerdict",
+    "InteractionAnalyzer",
+    "InteractionEdge",
+    "InteractionGraph",
     "MonotonicityGuard",
     "PlanSanitizer",
     "PlanSanityError",
     "RegistryLinter",
     "RowBounds",
+    "RuleGate",
     "Severity",
     "SubstitutionVerifier",
     "TreeContext",
     "default_workloads",
+    "interaction_markdown",
     "pattern_subsumes",
+    "synthesize_bindings",
 ]

@@ -55,14 +55,20 @@ class Diagnostic:
     #: Name of the rule the finding is about (None for plan-level findings).
     rule: Optional[str] = None
     #: Free-form location: a pattern position, binding description, plan
-    #: node, or documentation anchor.
+    #: node, source line, or documentation anchor.
     location: Optional[str] = None
+    #: One-line remediation suggestion (set by passes whose findings have a
+    #: mechanical fix, e.g. the implementation AST lint).
+    hint: Optional[str] = None
 
     def __str__(self) -> str:
         where = self.rule or "-"
         if self.location:
             where = f"{where} @ {self.location}"
-        return f"{self.severity.value.upper()} {self.code} [{where}] {self.message}"
+        text = f"{self.severity.value.upper()} {self.code} [{where}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -71,6 +77,7 @@ class Diagnostic:
             "rule": self.rule,
             "location": self.location,
             "message": self.message,
+            "hint": self.hint,
         }
 
 

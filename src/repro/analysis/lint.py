@@ -40,6 +40,7 @@ from repro.rules.framework import (
     match_structure,
     pattern_from_xml,
     pattern_to_xml,
+    walk_pattern,
 )
 from repro.rules.registry import RuleRegistry
 from repro.testing.builders import GenerationFailure
@@ -61,6 +62,46 @@ OP_ARITY = {
     OpKind.INTERSECT: 2,
     OpKind.EXCEPT: 2,
 }
+
+
+def synthesize_bindings(
+    rule: Rule,
+    workloads: Sequence,
+    samples: int = 6,
+    seed: int = 0,
+    salt: str = "lint",
+) -> List[Tuple[TreeContext, LogicalOp]]:
+    """Synthesize validated sample bindings for ``rule`` from its pattern.
+
+    The shared binding-synthesis used by the registry lint's liveness check
+    and the interaction-graph pass: for every bundled workload, instantiate
+    the rule's pattern ``samples`` times with per-index seeded RNGs, keep
+    only trees that structurally match the pattern and validate against the
+    catalog.  Deterministic for a fixed ``(salt, seed)``.
+    """
+    hints = merge_hints([rule])
+    bindings: List[Tuple[TreeContext, LogicalOp]] = []
+    for workload_name, catalog, stats in workloads:
+        context = TreeContext(catalog, stats)
+        for index in range(samples):
+            rng = random.Random(
+                f"{salt}:{seed}:{rule.name}:{workload_name}:{index}"
+            )
+            instantiator = PatternInstantiator(catalog, rng, stats)
+            try:
+                tree = instantiator.instantiate(rule.pattern, hints)
+            except GenerationFailure:
+                continue
+            except Exception:  # noqa: BLE001 - malformed patterns crash
+                continue       # the generator; RL101/RL120 report them
+            if not match_structure(tree, rule.pattern):
+                continue
+            try:
+                validate_tree(tree, catalog)
+            except ValidationError:
+                continue
+            bindings.append((context, tree))
+    return bindings
 
 
 def pattern_subsumes(wider: PatternNode, narrower: PatternNode) -> bool:
@@ -117,15 +158,30 @@ class RegistryLinter:
             self._lint_name(report, rule)
             report.count("rules_linted")
         self._lint_duplicates(report)
-        self._lint_liveness(report)
+        for rule in self.registry.all_rules:
+            self._lint_rule_liveness(report, rule)
         if self.docs_path is not None:
             self._lint_docs(report)
+        return report
+
+    def lint_rule(self, rule: Rule) -> AnalysisReport:
+        """Scoped lint of one rule (the admission gate's entry point).
+
+        Runs the structural and liveness checks; the registry-wide
+        duplicate and documentation-drift checks need full-registry
+        context and are left to :meth:`run`.
+        """
+        report = AnalysisReport()
+        self._lint_pattern(report, rule)
+        self._lint_name(report, rule)
+        self._lint_rule_liveness(report, rule)
+        report.count("rules_linted")
         return report
 
     # ----------------------------------------------------------- structural
 
     def _lint_pattern(self, report: AnalysisReport, rule: Rule) -> None:
-        for node, path in _walk_pattern(rule.pattern):
+        for node, path in walk_pattern(rule.pattern):
             if node.is_generic:
                 continue
             expected = OP_ARITY.get(node.kind)
@@ -232,65 +288,44 @@ class RegistryLinter:
 
     # ------------------------------------------------------------- liveness
 
-    def _lint_liveness(self, report: AnalysisReport) -> None:
-        for rule in self.registry.all_rules:
-            bindings = self._sample_bindings(rule)
-            if not bindings:
-                report.add(
-                    Diagnostic(
-                        "RL120",
-                        Severity.WARNING,
-                        "no binding could be synthesized from the pattern "
-                        "against any bundled workload schema; the rule "
-                        "may be dead",
-                        rule=rule.name,
-                    )
+    def _lint_rule_liveness(self, report: AnalysisReport, rule: Rule) -> None:
+        bindings = self._sample_bindings(rule)
+        if not bindings:
+            report.add(
+                Diagnostic(
+                    "RL120",
+                    Severity.WARNING,
+                    "no binding could be synthesized from the pattern "
+                    "against any bundled workload schema; the rule "
+                    "may be dead",
+                    rule=rule.name,
                 )
+            )
+            return
+        passed = 0
+        for context, tree in bindings:
+            try:
+                if rule.precondition(tree, context):
+                    passed += 1
+            except Exception:  # noqa: BLE001 - verify pass reports SV201
                 continue
-            passed = 0
-            for context, tree in bindings:
-                try:
-                    if rule.precondition(tree, context):
-                        passed += 1
-                except Exception:  # noqa: BLE001 - verify pass reports SV201
-                    continue
-            if passed == 0:
-                report.add(
-                    Diagnostic(
-                        "RL121",
-                        Severity.WARNING,
-                        f"precondition rejected all {len(bindings)} "
-                        "synthesized bindings; the rule may never fire",
-                        rule=rule.name,
-                    )
+        if passed == 0:
+            report.add(
+                Diagnostic(
+                    "RL121",
+                    Severity.WARNING,
+                    f"precondition rejected all {len(bindings)} "
+                    "synthesized bindings; the rule may never fire",
+                    rule=rule.name,
                 )
+            )
 
     def _sample_bindings(
         self, rule: Rule
     ) -> List[Tuple[TreeContext, LogicalOp]]:
-        hints = merge_hints([rule])
-        bindings: List[Tuple[TreeContext, LogicalOp]] = []
-        for workload_name, catalog, stats in self.workloads:
-            context = TreeContext(catalog, stats)
-            for index in range(self.samples):
-                rng = random.Random(
-                    f"lint:{self.seed}:{rule.name}:{workload_name}:{index}"
-                )
-                instantiator = PatternInstantiator(catalog, rng, stats)
-                try:
-                    tree = instantiator.instantiate(rule.pattern, hints)
-                except GenerationFailure:
-                    continue
-                except Exception:  # noqa: BLE001 - malformed patterns crash
-                    continue       # the generator; RL101/RL120 report them
-                if not match_structure(tree, rule.pattern):
-                    continue
-                try:
-                    validate_tree(tree, catalog)
-                except ValidationError:
-                    continue
-                bindings.append((context, tree))
-        return bindings
+        return synthesize_bindings(
+            rule, self.workloads, self.samples, self.seed, salt="lint"
+        )
 
     # ----------------------------------------------------------------- docs
 
@@ -342,12 +377,6 @@ class RegistryLinter:
                     rule=name,
                 )
             )
-
-
-def _walk_pattern(pattern: PatternNode, path: str = "root"):
-    yield pattern, path
-    for index, child in enumerate(pattern.children):
-        yield from _walk_pattern(child, f"{path}.{index}")
 
 
 _HEADING = re.compile(r"^### (\w+)\s*$")

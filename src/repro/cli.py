@@ -216,6 +216,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip symbolic substitution verification",
     )
     analyze.add_argument(
+        "--skip-astlint", action="store_true",
+        help="skip the implementation AST lint",
+    )
+    analyze.add_argument(
+        "--interactions", action="store_true",
+        help="compute the rule-interaction graph (IG4xx) and include it "
+        "in the report (JSON mode adds an 'interaction_graph' key)",
+    )
+    analyze.add_argument(
+        "--interactions-dot", metavar="PATH",
+        help="with --interactions: write the confirmed-edge subgraph as "
+        "Graphviz DOT to PATH",
+    )
+    analyze.add_argument(
+        "--gate", metavar="RULE",
+        help="run the admission gate on one rule of the (possibly "
+        "fault-injected) registry; a rejection exits non-zero",
+    )
+    analyze.add_argument(
+        "--gate-all", action="store_true",
+        help="run the admission gate on every exploration rule",
+    )
+    analyze.add_argument(
+        "--gate-static-only", action="store_true",
+        help="skip the gate's dynamic differential check (the gate always "
+        "uses its own calibrated TPC-H build, not --database/--seed)",
+    )
+    analyze.add_argument(
         "--plans", type=int, default=0, metavar="N",
         help="additionally optimize N random queries with the plan "
         "sanitizer enabled and assert cost monotonicity",
@@ -481,11 +509,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace(args, database, registry)
 
     if args.command == "analyze":
+        import json as json_module
         from pathlib import Path
 
         from repro.analysis import (
             AnalysisReport,
+            AstLinter,
+            InteractionAnalyzer,
             RegistryLinter,
+            RuleGate,
             Severity,
             SubstitutionVerifier,
             default_workloads,
@@ -516,6 +548,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
             )
             report.merge(verifier.run())
+        if not args.skip_astlint:
+            report.merge(AstLinter(analysis_registry).run())
+        graph = None
+        if args.interactions:
+            analyzer = InteractionAnalyzer(
+                analysis_registry, workloads, seed=args.seed
+            )
+            report.merge(analyzer.run())
+            graph = analyzer.build_graph()
+            if args.interactions_dot:
+                Path(args.interactions_dot).write_text(graph.to_dot())
+        verdicts = []
+        if args.gate or args.gate_all:
+            gate = RuleGate(analysis_registry, workloads=workloads)
+            if args.gate:
+                verdicts.append(
+                    gate.check(args.gate, static_only=args.gate_static_only)
+                )
+            else:
+                verdicts = gate.check_all(
+                    static_only=args.gate_static_only
+                )
+        rejected = [v for v in verdicts if not v.admitted]
         if args.plans:
             report.merge(
                 _sanitized_plan_smoke(
@@ -523,12 +578,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             )
         if args.json:
-            print(report.to_json())
+            payload = json_module.loads(report.to_json())
+            if graph is not None:
+                payload["interaction_graph"] = graph.to_json_dict()
+            if verdicts:
+                payload["gate"] = [v.to_dict() for v in verdicts]
+                payload["gate_rejected"] = [v.rule_name for v in rejected]
+            print(json_module.dumps(payload, indent=2, sort_keys=False))
         else:
             print(report.to_text())
+            for verdict in verdicts:
+                status = "ADMITTED" if verdict.admitted else "REJECTED"
+                line = f"gate {verdict.rule_name}: {status}"
+                if verdict.dynamic_status:
+                    line += f" (dynamic: {verdict.dynamic_status})"
+                print(line)
+                for reason in verdict.reasons:
+                    print(f"  - {reason}")
         threshold = (
             Severity.ERROR if args.fail_on == "error" else Severity.WARNING
         )
+        if rejected:
+            return 1
         return 1 if report.at_or_above(threshold) else 0
 
     raise AssertionError(f"unhandled command {args.command}")

@@ -64,8 +64,7 @@ def _arith(op: ArithmeticOp, left, right):
         return left * right
     if right == 0:
         return None
-    result = left / right
-    return result
+    return left / right
 
 
 def evaluate(expr: Expr, row: Tuple, layout: Layout):

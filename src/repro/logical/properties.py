@@ -296,11 +296,11 @@ class PropertyDeriver:
         (child,) = child_props
         out_cols = op.output_columns
         keys = {frozenset(column.cid for column in op.group_by)}
-        non_null = set(
+        non_null = {
             column
             for column in op.group_by
             if column in child.non_null
-        )
+        }
         for column, call in op.aggregates:
             if not call.result_nullable():
                 non_null.add(column)

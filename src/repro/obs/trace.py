@@ -78,7 +78,7 @@ class _NullSpan:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        return None
+        pass
 
 
 _NULL_SPAN = _NullSpan()
@@ -103,7 +103,7 @@ class Tracer:
     detailed: bool = False
 
     def event(self, name: str, cat: str = "optimizer", **args: ArgValue) -> None:
-        return None
+        pass
 
     def span(self, name: str, cat: str = "optimizer", **args: ArgValue):
         return _NULL_SPAN

@@ -178,8 +178,10 @@ class Optimizer:
 
         try:
             root_id = memo.intern_tree(tree)
-        except MemoBudgetExceeded:
-            raise OptimizationError("query too large for memo budget")
+        except MemoBudgetExceeded as exc:
+            raise OptimizationError(
+                "query too large for memo budget"
+            ) from exc
 
         # ---------------------------------------------------------- explore
         queue = deque(memo.drain_fresh())

@@ -60,7 +60,7 @@ class PatternNode:
         if op.kind is not self.kind:
             return False
         if self.kind is OpKind.JOIN and self.join_kinds is not None:
-            return getattr(op, "join_kind") in self.join_kinds
+            return op.join_kind in self.join_kinds
         return True
 
     def size(self) -> int:
@@ -140,6 +140,21 @@ class Rule:
         """
         raise NotImplementedError
 
+    def substitutions(
+        self, binding: LogicalOp, ctx: "RuleContext"
+    ) -> list:
+        """Materialized substitution outputs for ``binding``.
+
+        Analysis hook: checks the precondition and drains the substitution
+        generator, so static passes can enumerate a rule's outputs without
+        replicating precondition handling.  Returns ``[]`` when the
+        precondition rejects the binding.  Exceptions propagate -- callers
+        that treat crashes as findings catch them (see SV201).
+        """
+        if not self.precondition(binding, ctx):
+            return []
+        return list(self.substitute(binding, ctx))
+
     @property
     def is_exploration(self) -> bool:
         return self.rule_type == RuleType.EXPLORATION
@@ -199,6 +214,18 @@ def match_structure(op: LogicalOp, pattern: PatternNode) -> bool:
 def tree_contains_pattern(op: LogicalOp, pattern: PatternNode) -> bool:
     """Does any subtree of ``op`` match ``pattern``?"""
     return any(match_structure(node, pattern) for node in op.walk())
+
+
+def walk_pattern(pattern: PatternNode, path: str = "root"):
+    """Yield ``(node, path)`` for every node of a pattern, pre-order.
+
+    Paths are dotted child indices (``root``, ``root.0``, ``root.0.1``) --
+    the coordinate system the analysis passes use to anchor diagnostics
+    and to map implementation variables onto pattern positions.
+    """
+    yield pattern, path
+    for index, child in enumerate(pattern.children):
+        yield from walk_pattern(child, f"{path}.{index}")
 
 
 # ------------------------------------------------------------------ XML export

@@ -458,7 +458,7 @@ class PlanService:
             payload = pickle.dumps((self.catalog, self.stats, self.registry))
         except Exception as exc:  # pragma: no cover - defensive
             warnings.warn(f"plan service: environment not picklable ({exc}); "
-                          "running batch serially")
+                          "running batch serially", stacklevel=2)
             return None
         try:
             with ProcessPoolExecutor(
@@ -491,6 +491,7 @@ class PlanService:
         except Exception as exc:  # pragma: no cover - defensive
             warnings.warn(
                 f"plan service: process pool failed ({exc}); "
-                "running batch serially"
+                "running batch serially",
+                stacklevel=2,
             )
             return None

@@ -277,6 +277,28 @@ class MutationCampaign:
         report.service_stats = dict(self._stats) or None
         return report
 
+    def evaluate_rule(self, rule) -> MutantOutcome:
+        """Score one candidate rule build the way a mutant is scored.
+
+        The admission gate's dynamic hook: swap ``rule`` into the
+        registry, regenerate its pattern-based suite against the
+        candidate build, and run the differential oracle over the pool.
+        ``rule.name`` must exist in the campaign's registry (the gate
+        extends the registry first for genuinely new rules); a detected
+        status on the FULL variant means the candidate changed plans
+        incorrectly, crashed, or could not be exercised at all.
+        """
+        candidate = Mutant(
+            mutant_id=f"candidate:{rule.name}",
+            rule_name=rule.name,
+            operator="candidate",
+            description=f"admission-gate differential check of {rule.name}",
+            expected_detectable=False,
+            expectation_note="candidate rule under gate evaluation",
+            _factory=lambda: rule,
+        )
+        return self._evaluate(candidate)
+
     # ------------------------------------------------------------ internals
 
     def _service(self, registry: RuleRegistry) -> PlanService:

@@ -84,9 +84,10 @@ def _generation_artifact() -> str:
 
 
 def _mutation_artifact(database, registry, **overrides) -> str:
-    params = dict(
-        pool=3, k=1, seeds=(3,), extra_operators=2, max_trials=10
-    )
+    params = {
+        "pool": 3, "k": 1, "seeds": (3,), "extra_operators": 2,
+        "max_trials": 10,
+    }
     params.update(overrides)
     campaign = MutationCampaign(database, registry, **params)
     report = campaign.run(

@@ -41,8 +41,7 @@ from repro.physical.operators import (
 
 @pytest.fixture()
 def dept_scan(tiny_db):
-    get = _bind(tiny_db, "dept")
-    return get
+    return _bind(tiny_db, "dept")
 
 
 @pytest.fixture()

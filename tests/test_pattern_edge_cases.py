@@ -1,0 +1,192 @@
+"""Edge-case coverage for pattern XML round-trips and the structural
+unification primitives the interaction-graph pass builds on
+(``matches_op``, ``match_structure``, ``walk_pattern``,
+``Rule.substitutions``).
+"""
+
+import pytest
+
+from repro.expr.expressions import TRUE
+from repro.logical.operators import (
+    Distinct,
+    Join,
+    JoinKind,
+    OpKind,
+    Select,
+    make_get,
+)
+from repro.rules.framework import (
+    ANY,
+    P,
+    Rule,
+    match_structure,
+    pattern_from_xml,
+    pattern_to_xml,
+    walk_pattern,
+)
+
+
+class TestXmlRoundTripEdgeCases:
+    def test_multiple_join_kinds_preserved_in_order(self):
+        pattern = P(
+            OpKind.JOIN,
+            ANY,
+            ANY,
+            join_kinds=(JoinKind.LEFT_OUTER, JoinKind.INNER, JoinKind.SEMI),
+        )
+        xml = pattern_to_xml(pattern)
+        assert 'joinKinds="LEFT OUTER,INNER,SEMI"' in xml
+        assert pattern_from_xml(xml) == pattern
+
+    def test_single_join_kind(self):
+        pattern = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.ANTI,))
+        assert pattern_from_xml(pattern_to_xml(pattern)) == pattern
+
+    def test_unrestricted_join_stays_unrestricted(self):
+        """``join_kinds=None`` (any kind) must not collapse to an empty
+        tuple (no kind) through the XML layer."""
+        pattern = P(OpKind.JOIN, ANY, ANY)
+        restored = pattern_from_xml(pattern_to_xml(pattern))
+        assert restored.join_kinds is None
+        assert "joinKinds" not in pattern_to_xml(pattern)
+
+    def test_generic_leaves_below_depth_two(self):
+        pattern = P(
+            OpKind.SELECT,
+            P(
+                OpKind.JOIN,
+                P(OpKind.PROJECT, P(OpKind.DISTINCT, ANY)),
+                P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,)),
+            ),
+        )
+        restored = pattern_from_xml(pattern_to_xml(pattern))
+        assert restored == pattern
+        # The deep generic leaves survive at their exact positions.
+        paths = {path: node for node, path in walk_pattern(restored)}
+        assert paths["root.0.0.0.0"] is ANY
+        assert paths["root.0.1.0"] is ANY
+        assert paths["root.0.1"].join_kinds == (JoinKind.INNER,)
+
+    def test_nested_round_trip_twice_is_stable(self):
+        pattern = P(OpKind.GB_AGG, P(OpKind.JOIN, ANY, ANY))
+        once = pattern_to_xml(pattern)
+        twice = pattern_to_xml(pattern_from_xml(once))
+        assert once == twice
+
+    def test_unknown_nested_tag_rejected(self):
+        with pytest.raises(ValueError, match="unexpected element"):
+            pattern_from_xml(
+                '<Operator kind="Select"><Banana /></Operator>'
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_from_xml('<Operator kind="Teleport" />')
+
+
+@pytest.fixture()
+def trees(tiny_catalog):
+    emp = make_get(tiny_catalog.table("emp"))
+    dept = make_get(tiny_catalog.table("dept"))
+    join = Join(JoinKind.LEFT_OUTER, emp, dept, TRUE)
+    return emp, dept, join
+
+
+class TestUnification:
+    def test_matches_op_ignores_children(self, trees):
+        """Single-node match -- the IG structural-edge primitive: the
+        root operator decides, children are wildcards."""
+        _, _, join = trees
+        assert P(OpKind.JOIN, ANY, ANY).matches_op(join)
+        assert P(OpKind.JOIN).matches_op(join)
+        assert ANY.matches_op(join)
+        assert not P(OpKind.SELECT, ANY).matches_op(join)
+
+    def test_matches_op_join_kind_restriction(self, trees):
+        _, _, join = trees
+        assert P(
+            OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.LEFT_OUTER,)
+        ).matches_op(join)
+        assert not P(
+            OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,)
+        ).matches_op(join)
+
+    def test_match_structure_arity_mismatch(self, trees):
+        emp, _, join = trees
+        # A SELECT pattern over a Get: arity 1 vs 0 children.
+        assert not match_structure(emp, P(OpKind.GET, ANY))
+        # Generic pattern matches regardless of arity.
+        assert match_structure(emp, ANY)
+        assert match_structure(join, ANY)
+
+    def test_match_structure_nested_join_kinds(self, trees):
+        _, _, join = trees
+        select = Select(join, TRUE)
+        loj_below = P(
+            OpKind.SELECT,
+            P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.LEFT_OUTER,)),
+        )
+        inner_below = P(
+            OpKind.SELECT,
+            P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.INNER,)),
+        )
+        assert match_structure(select, loj_below)
+        assert not match_structure(select, inner_below)
+
+    def test_match_structure_deep_generic_leaf(self, trees):
+        _, _, join = trees
+        tree = Distinct(Select(join, TRUE))
+        pattern = P(OpKind.DISTINCT, P(OpKind.SELECT, ANY))
+        assert match_structure(tree, pattern)
+
+    def test_walk_pattern_preorder_paths(self):
+        pattern = P(OpKind.JOIN, P(OpKind.SELECT, ANY), ANY)
+        walked = list(walk_pattern(pattern))
+        assert [path for _, path in walked] == [
+            "root",
+            "root.0",
+            "root.0.0",
+            "root.1",
+        ]
+        assert walked[0][0] is pattern
+
+
+class TestSubstitutionsHook:
+    """``Rule.substitutions`` -- the analysis entry point that folds the
+    precondition into output enumeration."""
+
+    class _Gated(Rule):
+        name = "GatedProbe"
+        pattern = P(OpKind.SELECT, ANY)
+        accept = True
+
+        def precondition(self, binding, ctx):
+            return self.accept
+
+        def substitute(self, binding, ctx):
+            yield binding.child
+
+    def test_rejected_binding_yields_no_outputs(self, trees):
+        _, _, join = trees
+        rule = self._Gated()
+        rule.accept = False
+        assert rule.substitutions(Select(join, TRUE), ctx=None) == []
+
+    def test_accepted_binding_drains_generator(self, trees):
+        _, _, join = trees
+        rule = self._Gated()
+        outputs = rule.substitutions(Select(join, TRUE), ctx=None)
+        assert outputs == [join]
+
+    def test_substitution_exceptions_propagate(self, trees):
+        _, _, join = trees
+
+        class _Crashes(self._Gated):
+            name = "CrashingProbe"
+
+            def substitute(self, binding, ctx):
+                raise RuntimeError("boom")
+                yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError, match="boom"):
+            _Crashes().substitutions(Select(join, TRUE), ctx=None)

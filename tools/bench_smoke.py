@@ -250,6 +250,13 @@ def main(argv=None) -> int:
         help="where to write the chrome-trace artifact of the traced "
         "Figure 8 pass ('' disables)",
     )
+    parser.add_argument(
+        "--trajectory-out", default="BENCH_6.json",
+        help="where to write the per-PR perf-trajectory summary "
+        "(plans/sec, campaign wall-time, warm/cold cache ratio; "
+        "'' disables).  The committed BENCH_<n>.json series lets "
+        "subsequent PRs trend these numbers (ROADMAP item 3).",
+    )
     args = parser.parse_args(argv)
 
     database = tpch_database(seed=0)
@@ -276,6 +283,29 @@ def main(argv=None) -> int:
     }
     Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True))
     print(json.dumps(payload, indent=2, sort_keys=True))
+
+    if args.trajectory_out:
+        # The small stable core of the smoke numbers, one file per PR:
+        # raw wall-clock seconds are machine-dependent, but the series
+        # still shows order-of-magnitude movement, and the cache ratio
+        # and plans/sec are the ROADMAP item 3 targets.
+        trajectory = {
+            "parameters": payload["parameters"],
+            "plans_per_sec": round(
+                tracing["optimizations_timed"]
+                / max(tracing["plain_seconds"], 1e-9),
+                2,
+            ),
+            "mutation_campaign_seconds": round(mutation["seconds"], 3),
+            "warm_cold_cache_ratio": round(
+                fig14["cold_seconds"] / max(fig14["warm_seconds"], 1e-9), 1
+            ),
+            "tracing_overhead": round(tracing["overhead"], 4),
+            "warm_pass_cache_hits": fig14["warm_pass_cache_hits"],
+        }
+        Path(args.trajectory_out).write_text(
+            json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+        )
 
     failures = []
     if not fig8["all_succeeded"]:
