@@ -1,0 +1,112 @@
+"""The in-process engine as a fleet backend.
+
+Wraps the optimize-then-execute pipeline (``PlanService`` +
+:func:`repro.engine.executor.execute_plan`) behind the
+:class:`~repro.backends.base.Backend` protocol.  This is the *system under
+test*: its optimizer applies the transformation rules whose correctness
+the fleet checks, while the external backends execute the rendered SQL
+text directly and therefore provide independent ground truth.
+
+Several engine backends can join one fleet under distinct names with
+different :class:`OptimizerConfig` values (e.g. a rule disabled, the
+sanitizer on).  All engine variants speak plan language ``"repro"``, so
+the runner diffs their plan shapes pairwise -- the plan-guidance oracle:
+same results, possibly different plans; a *result* difference between two
+engine configs is a rule bug caught without any external backend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.backends.base import Backend, BackendError, PlanShape
+from repro.engine.executor import ExecutionError, execute_plan
+from repro.logical.operators import LogicalOp
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.result import OptimizationError
+from repro.physical.operators import PhysicalOp
+from repro.rules.registry import RuleRegistry
+from repro.service import PlanService
+from repro.sql.dialect import ENGINE_DIALECT
+from repro.storage.database import Database
+
+#: Plan vocabulary shared by every engine-backend variant.
+ENGINE_PLAN_LANGUAGE = "repro"
+
+
+def physical_plan_shape(plan: PhysicalOp) -> PlanShape:
+    """Normalize a physical plan: operator kinds with tree depths only
+    (predicates, columns and costs are irrelevant to *shape*)."""
+    nodes = []
+
+    def visit(op: PhysicalOp, depth: int) -> None:
+        nodes.append((depth, op.kind.value))
+        for child in op.children:
+            if isinstance(child, PhysicalOp):
+                visit(child, depth + 1)
+
+    visit(plan, 0)
+    return PlanShape(language=ENGINE_PLAN_LANGUAGE, nodes=tuple(nodes))
+
+
+class EngineBackend(Backend):
+    """The repro optimizer + iterator executor as one fleet member."""
+
+    dialect = ENGINE_DIALECT
+    plan_language = ENGINE_PLAN_LANGUAGE
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        *,
+        registry: Optional[RuleRegistry] = None,
+        config: Optional[OptimizerConfig] = None,
+        service: Optional[PlanService] = None,
+        name: str = "engine",
+    ) -> None:
+        super().__init__()
+        self.name = name
+        if service is None:
+            if database is None:
+                raise ValueError(
+                    "EngineBackend needs a database or a PlanService"
+                )
+            service = PlanService(
+                database, registry=registry, cache_dir=None
+            )
+        self.service = service
+        self.config = config
+        self.database = database if database is not None else service.database
+        if self.database is None:
+            raise ValueError(
+                "EngineBackend needs a database (directly or via the "
+                "service) to execute plans against"
+            )
+
+    def setup(self, database: Database) -> None:
+        # The engine executes against the in-memory Database directly;
+        # nothing to materialize, but the fleet must be self-consistent.
+        if database is not self.database:
+            raise BackendError(
+                "engine backend was constructed over a different database "
+                "than the fleet is running against"
+            )
+
+    def _optimize(self, tree: LogicalOp):
+        try:
+            return self.service.optimize(tree, self.config)
+        except OptimizationError as exc:
+            raise BackendError(f"optimization failed: {exc}") from exc
+
+    def execute(self, tree: LogicalOp, sql: str) -> Sequence[Tuple]:
+        result = self._optimize(tree)
+        try:
+            output = execute_plan(
+                result.plan, self.database, result.output_columns
+            )
+        except ExecutionError as exc:
+            raise BackendError(f"execution failed: {exc}") from exc
+        return output.rows
+
+    def explain(self, tree: LogicalOp, sql: str) -> PlanShape:
+        return physical_plan_shape(self._optimize(tree).plan)

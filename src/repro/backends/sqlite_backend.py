@@ -1,0 +1,119 @@
+"""stdlib ``sqlite3`` as a fleet backend.
+
+Lifted out of the original one-off differential test
+(``tests/test_sqlite_differential.py``): the test database is mirrored
+into an in-memory SQLite database and every query runs as SQL text
+rendered in the SQLite dialect -- truncating integer division is
+compensated with a REAL cast, booleans render as ``1``/``0`` (see
+:data:`repro.sql.dialect.SQLITE_DIALECT`), so no query needs to be
+skip-listed anymore.
+
+Plan shapes come from ``EXPLAIN QUERY PLAN`` under the ``"sqlite-eqp"``
+language; they are recorded in collect artifacts but never diffed against
+the engine's ``"repro"`` shapes (different vocabulary, legitimately
+different trees).
+
+The connection is created with ``check_same_thread=False`` because the
+differential runner drives each backend from a worker thread; each
+backend instance is only ever used by one thread at a time.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Optional, Sequence, Tuple
+
+from repro.backends.base import Backend, BackendError, PlanShape
+from repro.catalog.schema import DataType
+from repro.logical.operators import LogicalOp
+from repro.sql.dialect import SQLITE_DIALECT
+from repro.storage.database import Database
+
+#: Our catalog types rendered as SQLite storage classes.  DATE columns are
+#: stored as ordinal integers throughout the workloads; BOOL has no SQLite
+#: type and becomes INTEGER (result bags normalize booleans to ints).
+SQLITE_TYPES = {
+    DataType.INT: "INTEGER",
+    DataType.FLOAT: "REAL",
+    DataType.STRING: "TEXT",
+    DataType.DATE: "INTEGER",
+    DataType.BOOL: "INTEGER",
+}
+
+
+def sqlite_mirror(database: Database) -> sqlite3.Connection:
+    """Materialize ``database`` as an in-memory SQLite database."""
+    conn = sqlite3.connect(":memory:", check_same_thread=False)
+    dialect = SQLITE_DIALECT
+    for table in database.tables():
+        definition = table.definition
+        columns = ", ".join(
+            f"{dialect.identifier(column.name)} "
+            f"{SQLITE_TYPES[column.data_type]}"
+            for column in definition.columns
+        )
+        conn.execute(
+            f"CREATE TABLE {dialect.identifier(definition.name)} "
+            f"({columns})"
+        )
+        if table.rows:
+            slots = ", ".join("?" * len(definition.columns))
+            conn.executemany(
+                f"INSERT INTO {dialect.identifier(definition.name)} "
+                f"VALUES ({slots})",
+                table.rows,
+            )
+    conn.commit()
+    return conn
+
+
+class SqliteBackend(Backend):
+    """The battle-tested independent executor every environment has."""
+
+    name = "sqlite"
+    dialect = SQLITE_DIALECT
+    plan_language = "sqlite-eqp"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._conn: Optional[sqlite3.Connection] = None
+
+    def setup(self, database: Database) -> None:
+        try:
+            self._conn = sqlite_mirror(database)
+        except sqlite3.Error as exc:
+            raise BackendError(f"sqlite mirror failed: {exc}") from exc
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise BackendError("sqlite backend is not set up")
+        return self._conn
+
+    def execute(self, tree: LogicalOp, sql: str) -> Sequence[Tuple]:
+        try:
+            return self._connection().execute(sql).fetchall()
+        except sqlite3.Error as exc:
+            raise BackendError(f"sqlite error: {exc}") from exc
+
+    def explain(self, tree: LogicalOp, sql: str) -> PlanShape:
+        try:
+            rows = self._connection().execute(
+                f"EXPLAIN QUERY PLAN {sql}"
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise BackendError(f"sqlite explain error: {exc}") from exc
+        # EXPLAIN QUERY PLAN rows are (id, parent, notused, detail);
+        # depths are reconstructed from the parent chain and the detail
+        # text is whitespace-normalized.
+        depths = {0: -1}
+        nodes = []
+        for node_id, parent, _unused, detail in rows:
+            depth = depths.get(parent, -1) + 1
+            depths[node_id] = depth
+            nodes.append((depth, " ".join(str(detail).split())))
+        return PlanShape(language=self.plan_language, nodes=tuple(nodes))
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None

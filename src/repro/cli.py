@@ -8,6 +8,7 @@ Mirrors how a test engineer would drive the paper's framework day to day::
     python -m repro generate --rule A --pair B --method random
     python -m repro optimize --sql "SELECT ... "
     python -m repro correctness --rules 8 --k 3
+    python -m repro diff --backends engine,sqlite
     python -m repro coverage --rules 12 --method pattern
     python -m repro interaction --producer X --consumer Y
 
@@ -109,6 +110,43 @@ def _build_parser() -> argparse.ArgumentParser:
     correctness.add_argument("--k", type=int, default=3)
     correctness.add_argument(
         "--method", choices=["baseline", "smc", "topk"], default="topk"
+    )
+
+    diff = commands.add_parser(
+        "diff",
+        help="differential campaign: fan a generated suite across a "
+        "fleet of execution backends (see docs/BACKENDS.md)",
+    )
+    diff.add_argument(
+        "--backends", default="engine,sqlite",
+        help="comma-separated fleet; the first member is the reference "
+        "(default engine,sqlite; duckdb joins when installed)",
+    )
+    diff.add_argument(
+        "--rules", type=int, default=6,
+        help="exploration rules the suite is generated for (default 6)",
+    )
+    diff.add_argument(
+        "--k", type=int, default=2, help="queries per rule (default 2)"
+    )
+    diff.add_argument(
+        "--extra-operators", type=int, default=2,
+        help="extra random operators wrapped around generated queries",
+    )
+    diff.add_argument(
+        "--fault", choices=sorted(ALL_FAULTS),
+        help="replace a rule with its seeded buggy variant first (the "
+        "fleet should then disagree -- a self-test of the oracle)",
+    )
+    diff.add_argument(
+        "--format", choices=["text", "json", "markdown"], default="text",
+    )
+    diff.add_argument(
+        "--output", help="write the report to this file instead of stdout"
+    )
+    diff.add_argument(
+        "--collect-out", metavar="PATH",
+        help="also write the deterministic JSON collect artifact to PATH",
     )
 
     coverage = commands.add_parser(
@@ -485,6 +523,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(outcome.sql)
         return 0
 
+    if args.command == "diff":
+        return _run_diff(args, database, registry)
+
     if args.command == "mutate":
         return _run_mutate(args, database, registry)
 
@@ -603,6 +644,87 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if report.at_or_above(threshold) else 0
 
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def _run_diff(args, database, registry) -> int:
+    """The ``repro diff`` subcommand: run the differential backend fleet.
+
+    Uses its own memory-only plan service: with ``--fault`` the registry
+    is mutated, and mutated registries must never share the name-keyed
+    persistent cache (a clean build's plans would be served back).
+    """
+    from repro.backends import create_backends
+    from repro.obs import MetricsRegistry
+    from repro.testing.differential import DifferentialRunner
+
+    if args.fault:
+        registry = registry.with_replaced_rule(ALL_FAULTS[args.fault]())
+    service = PlanService(
+        database, registry=registry, workers=args.workers, cache_dir=None
+    )
+
+    names = registry.exploration_rule_names[: args.rules]
+    builder = TestSuiteBuilder(
+        database, registry, seed=args.seed,
+        extra_operators=args.extra_operators, service=service,
+    )
+    suite = builder.build(singleton_nodes(names), k=args.k)
+
+    requested = [
+        name.strip() for name in args.backends.split(",") if name.strip()
+    ]
+    try:
+        backends, skipped = create_backends(
+            requested, database, registry=registry, service=service
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for name, reason in sorted(skipped.items()):
+        print(f"skipping backend {name}: {reason}", file=sys.stderr)
+    if len(backends) < 2:
+        print(
+            "differential testing needs at least two available backends "
+            f"(got {[backend.name for backend in backends]})",
+            file=sys.stderr,
+        )
+        return 2
+
+    runner = DifferentialRunner(
+        database, backends,
+        skipped_backends=skipped, metrics=MetricsRegistry(),
+    )
+    report = runner.run(
+        suite,
+        suite_info={
+            "seed": args.seed,
+            "database": args.database,
+            "rules": list(names),
+            "k": args.k,
+            "extra_operators": args.extra_operators,
+            "fault": args.fault,
+        },
+    )
+
+    if args.format == "json":
+        output = report.to_json()
+    elif args.format == "markdown":
+        output = report.to_markdown()
+    else:
+        output = report.to_text()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output + "\n")
+        print(f"report written to {args.output}")
+        if args.format != "text":
+            print(report.to_text())
+    else:
+        print(output)
+    if args.collect_out:
+        with open(args.collect_out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"collect artifact written to {args.collect_out}")
+    return 0 if report.passed else 1
 
 
 def _run_mutate(args, database, registry) -> int:

@@ -130,6 +130,30 @@ METRIC_DOCS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
         "Pattern-based queries generated into mutant evaluation pools "
         "(regenerated against each mutated registry).",
     ),
+    # --------------------------------------------------------- differential
+    "diff.queries": (
+        "counter", (),
+        "Suite queries fanned out across the differential backend fleet.",
+    ),
+    "diff.executions": (
+        "counter", ("backend",),
+        "Query executions attempted per fleet backend (errors included).",
+    ),
+    "diff.outcomes": (
+        "counter", ("backend", "outcome"),
+        "Unified per-(query, backend) verdicts against the reference "
+        "backend: agree, disagree, error, or skip.",
+    ),
+    "diff.plan_comparisons": (
+        "counter", (),
+        "Plan-shape comparisons between backends sharing a plan "
+        "language.",
+    ),
+    "diff.plan_divergences": (
+        "counter", (),
+        "Plan-shape comparisons whose normalized shapes differed "
+        "(informational; never a verdict by itself).",
+    ),
     # ---------------------------------------------------------------- trace
     "trace.dropped_events": (
         "gauge", (),

@@ -129,6 +129,11 @@ class PlanService:
             raise ValueError(
                 "PlanService needs a database, or a catalog plus stats"
             )
+        #: The database this service was constructed over, when one was
+        #: given.  Planning itself only needs catalog + stats; the handle
+        #: lets execution-layer clients (the differential backend fleet,
+        #: the CLI) recover the rows behind the plans they request.
+        self.database = database
         self.catalog = catalog
         self.stats = stats
         self.registry = registry or default_registry()

@@ -1,10 +1,22 @@
 """SQL text front/back end: generation, lexing, parsing and binding."""
 
+from repro.sql.dialect import (
+    DIALECTS,
+    DUCKDB_DIALECT,
+    ENGINE_DIALECT,
+    SQLITE_DIALECT,
+    Dialect,
+)
 from repro.sql.generate import SqlGenerator, sql_name, to_sql
 from repro.sql.lexer import LexError, Token, TokenType, tokenize
 
 __all__ = [
+    "DIALECTS",
+    "DUCKDB_DIALECT",
+    "Dialect",
+    "ENGINE_DIALECT",
     "LexError",
+    "SQLITE_DIALECT",
     "SqlGenerator",
     "Token",
     "TokenType",

@@ -10,15 +10,22 @@ Every column is emitted under a globally unique SQL identifier
 moving columns through deep operator stacks, render unambiguously.  Each
 operator becomes one SELECT block over derived tables; semi/anti joins
 render as ``[NOT] EXISTS`` subqueries, which is also how they parse back.
+
+Rendering is parameterized by a :class:`repro.sql.dialect.Dialect` so the
+same tree can target external backends (identifier quoting, integer vs.
+exact division, boolean literals); the default :data:`ENGINE_DIALECT`
+reproduces the engine's native SQL byte-for-byte.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.catalog.schema import DataType
 from repro.expr.aggregates import AggregateCall, AggregateFunction
 from repro.expr.expressions import (
     Arithmetic,
+    ArithmeticOp,
     BoolExpr,
     Column,
     ColumnRef,
@@ -42,6 +49,7 @@ from repro.logical.operators import (
     Sort,
     is_set_op,
 )
+from repro.sql.dialect import ENGINE_DIALECT, Dialect
 
 #: cid -> SQL identifier mapping for one subquery scope.
 Scope = Dict[int, str]
@@ -55,7 +63,8 @@ def sql_name(column: Column) -> str:
 class SqlGenerator:
     """Stateful renderer (one instance per statement for alias numbering)."""
 
-    def __init__(self) -> None:
+    def __init__(self, dialect: Dialect = ENGINE_DIALECT) -> None:
+        self.dialect = dialect
         self._alias_counter = 0
 
     def _next_alias(self) -> str:
@@ -98,19 +107,27 @@ class SqlGenerator:
     # ------------------------------------------------------------- operators
 
     def _render_get(self, op: Get) -> Tuple[str, Scope]:
-        scope = {column.cid: sql_name(column) for column in op.columns}
+        dialect = self.dialect
+        scope = {
+            column.cid: dialect.identifier(sql_name(column))
+            for column in op.columns
+        }
         items = ", ".join(
-            f"{op.alias}.{column.name} AS {sql_name(column)}"
+            f"{dialect.qualified(op.alias, column.name)} AS "
+            f"{scope[column.cid]}"
             for column in op.columns
         )
+        table = dialect.identifier(op.table)
         from_clause = (
-            op.table if op.alias == op.table else f"{op.table} AS {op.alias}"
+            table
+            if op.alias == op.table
+            else f"{table} AS {dialect.identifier(op.alias)}"
         )
         return f"SELECT {items} FROM {from_clause}", scope
 
     def _render_select(self, op: Select) -> Tuple[str, Scope]:
         from_item, scope, _ = self._derived(op.child)
-        where = render_expr(op.predicate, scope)
+        where = render_expr(op.predicate, scope, self.dialect)
         return f"SELECT * FROM {from_item} WHERE {where}", scope
 
     def _render_project(self, op: Project) -> Tuple[str, Scope]:
@@ -118,8 +135,10 @@ class SqlGenerator:
         out_scope: Scope = {}
         items: List[str] = []
         for column, expr in op.outputs:
-            ident = sql_name(column)
-            items.append(f"{render_expr(expr, scope)} AS {ident}")
+            ident = self.dialect.identifier(sql_name(column))
+            items.append(
+                f"{render_expr(expr, scope, self.dialect)} AS {ident}"
+            )
             out_scope[column.cid] = ident
         return f"SELECT {', '.join(items)} FROM {from_item}", out_scope
 
@@ -141,7 +160,7 @@ class SqlGenerator:
             JoinKind.INNER: "INNER JOIN",
             JoinKind.LEFT_OUTER: "LEFT OUTER JOIN",
         }[op.join_kind]
-        condition = render_expr(op.predicate, scope)
+        condition = render_expr(op.predicate, scope, self.dialect)
         return (
             f"SELECT {select_list} FROM {left_item} {keyword} {right_item} "
             f"ON {condition}",
@@ -152,7 +171,7 @@ class SqlGenerator:
         left_item, left_scope, _ = self._derived(op.left)
         right_item, right_scope, _ = self._derived(op.right)
         scope = {**left_scope, **right_scope}
-        condition = render_expr(op.predicate, scope)
+        condition = render_expr(op.predicate, scope, self.dialect)
         negation = "NOT " if op.join_kind is JoinKind.ANTI else ""
         select_list = ", ".join(left_scope.values())
         return (
@@ -170,8 +189,10 @@ class SqlGenerator:
             items.append(ident)
             out_scope[column.cid] = ident
         for column, call in op.aggregates:
-            ident = sql_name(column)
-            items.append(f"{render_aggregate(call, scope)} AS {ident}")
+            ident = self.dialect.identifier(sql_name(column))
+            items.append(
+                f"{render_aggregate(call, scope, self.dialect)} AS {ident}"
+            )
             out_scope[column.cid] = ident
         sql = f"SELECT {', '.join(items)} FROM {from_item}"
         if op.group_by:
@@ -194,7 +215,7 @@ class SqlGenerator:
         for out, lcol, rcol in zip(
             op.output_columns, op.left_columns, op.right_columns
         ):
-            ident = sql_name(out)
+            ident = self.dialect.identifier(sql_name(out))
             left_items.append(f"{left_scope[lcol.cid]} AS {ident}")
             right_items.append(f"{right_scope[rcol.cid]} AS {ident}")
             out_scope[out.cid] = ident
@@ -219,7 +240,9 @@ class SqlGenerator:
         return f"SELECT * FROM {from_item} LIMIT {op.count}", scope
 
 
-def render_expr(expr: Expr, scope: Scope) -> str:
+def render_expr(
+    expr: Expr, scope: Scope, dialect: Dialect = ENGINE_DIALECT
+) -> str:
     """Render a scalar expression against ``scope`` (cid -> identifier)."""
     if isinstance(expr, ColumnRef):
         try:
@@ -230,33 +253,45 @@ def render_expr(expr: Expr, scope: Scope) -> str:
                 "in SQL scope"
             ) from None
     if isinstance(expr, Literal):
+        if expr.data_type is DataType.BOOL and expr.value is not None:
+            return dialect.bool_literal(bool(expr.value))
         return str(expr)
     if isinstance(expr, Comparison):
         return (
-            f"{render_expr(expr.left, scope)} {expr.op.value} "
-            f"{render_expr(expr.right, scope)}"
+            f"{render_expr(expr.left, scope, dialect)} {expr.op.value} "
+            f"{render_expr(expr.right, scope, dialect)}"
         )
     if isinstance(expr, BoolExpr):
         sep = f" {expr.op.value} "
-        return "(" + sep.join(render_expr(a, scope) for a in expr.args) + ")"
-    if isinstance(expr, Not):
-        return f"NOT ({render_expr(expr.arg, scope)})"
-    if isinstance(expr, IsNull):
-        return f"{render_expr(expr.arg, scope)} IS NULL"
-    if isinstance(expr, Arithmetic):
         return (
-            f"({render_expr(expr.left, scope)} {expr.op.value} "
-            f"{render_expr(expr.right, scope)})"
+            "("
+            + sep.join(render_expr(a, scope, dialect) for a in expr.args)
+            + ")"
         )
+    if isinstance(expr, Not):
+        return f"NOT ({render_expr(expr.arg, scope, dialect)})"
+    if isinstance(expr, IsNull):
+        return f"{render_expr(expr.arg, scope, dialect)} IS NULL"
+    if isinstance(expr, Arithmetic):
+        left = render_expr(expr.left, scope, dialect)
+        right = render_expr(expr.right, scope, dialect)
+        if expr.op is ArithmeticOp.DIV:
+            return dialect.division(left, right)
+        return f"({left} {expr.op.value} {right})"
     raise TypeError(f"cannot render {type(expr).__name__}")
 
 
-def render_aggregate(call: AggregateCall, scope: Scope) -> str:
+def render_aggregate(
+    call: AggregateCall, scope: Scope, dialect: Dialect = ENGINE_DIALECT
+) -> str:
     if call.function is AggregateFunction.COUNT_STAR:
         return "COUNT(*)"
-    return f"{call.function.value}({render_expr(call.argument, scope)})"
+    return (
+        f"{call.function.value}"
+        f"({render_expr(call.argument, scope, dialect)})"
+    )
 
 
-def to_sql(op: LogicalOp) -> str:
+def to_sql(op: LogicalOp, dialect: Dialect = ENGINE_DIALECT) -> str:
     """Render a logical query tree as a single SQL statement."""
-    return SqlGenerator().generate(op)
+    return SqlGenerator(dialect).generate(op)

@@ -1,0 +1,490 @@
+"""The differential fleet runner: one suite, many backends.
+
+Where :class:`repro.testing.correctness.CorrectnessRunner` compares
+``Plan(q)`` against ``Plan(q, ¬R)`` *inside* the engine, the
+:class:`DifferentialRunner` fans every suite query out across a fleet of
+independent backends (:mod:`repro.backends`) and compares normalized
+result bags across implementations.  The first backend is the *reference*
+(by convention the in-process engine -- the system under test); each
+other backend's bag is diffed against it:
+
+* ``agree``    -- bags identical (bag comparison, floats quantized);
+* ``disagree`` -- bags differ: a correctness bug in (at least) one
+  implementation.  With a fault-injected registry this is the kill
+  signal: the engine executed a wrongly-transformed plan while the
+  external backend executed the SQL text;
+* ``error``    -- the backend failed on this query;
+* ``skip``     -- the reference itself failed, so there is nothing to
+  compare against.
+
+Outcomes unify into the same vocabulary the correctness runner emits
+(:class:`~repro.testing.correctness.ComparisonRecord`), so kill-matrix
+style consumers can fold both oracles' records together.
+
+Plan shapes are diffed *within* a plan language only: two engine-config
+variants both speak ``"repro"`` and should usually produce different
+shapes exactly when a rule was disabled (the plan-guidance signal); the
+engine's shapes are never compared to SQLite's ``EXPLAIN QUERY PLAN``
+rows.  Shape divergence between same-language backends is informational
+(``plan_divergences``), never a verdict by itself.
+
+Backends execute concurrently on a thread pool with one worker thread
+per backend (each backend's queries run serially on its own thread --
+connections are single-threaded; backends are mutually independent).
+
+Everything the campaign observed lands in a deterministic JSON *collect
+artifact* (`to_json`): same seed, same fleet, byte-identical output
+across fresh processes.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backends.base import Backend, BackendRun, bag_diff_summary
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.storage.database import Database
+from repro.testing.correctness import ComparisonRecord
+from repro.testing.suite import SuiteQuery, TestSuite
+
+#: Unified per-(query, backend) verdicts.
+AGREE = "agree"
+DISAGREE = "disagree"
+ERROR = "error"
+SKIP = "skip"
+
+OUTCOMES = (AGREE, DISAGREE, ERROR, SKIP)
+
+#: Differential outcome -> correctness-runner record outcome.
+_TO_COMPARISON = {
+    AGREE: "equal",
+    DISAGREE: "mismatch",
+    ERROR: "error",
+    SKIP: "error",
+}
+
+
+@dataclass(frozen=True)
+class DiffOutcome:
+    """One backend's unified verdict for one query."""
+
+    query_id: int
+    backend: str
+    outcome: str  # one of OUTCOMES
+    detail: str = ""
+    #: Shape comparison against the reference backend: ``None`` when the
+    #: two backends speak different plan languages (or a plan is
+    #: missing), otherwise whether the normalized shapes matched.
+    plan_match: Optional[bool] = None
+
+    def to_comparison_record(self) -> ComparisonRecord:
+        """The correctness runner's record vocabulary (kill-matrix
+        consumers fold differential and self-comparison records alike)."""
+        return ComparisonRecord(
+            rule_node=(f"backend:{self.backend}",),
+            query_id=self.query_id,
+            outcome=_TO_COMPARISON[self.outcome],
+            detail=self.detail,
+        )
+
+
+@dataclass
+class BackendTally:
+    """Per-backend outcome counts."""
+
+    agree: int = 0
+    disagree: int = 0
+    error: int = 0
+    skip: int = 0
+    plan_comparisons: int = 0
+    plan_divergences: int = 0
+
+    def bump(self, outcome: str) -> None:
+        setattr(self, outcome, getattr(self, outcome) + 1)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "agree": self.agree,
+            "disagree": self.disagree,
+            "error": self.error,
+            "skip": self.skip,
+            "plan_comparisons": self.plan_comparisons,
+            "plan_divergences": self.plan_divergences,
+        }
+
+
+@dataclass
+class DiffReport:
+    """Everything one differential campaign observed."""
+
+    backends: List[str]
+    reference: str
+    skipped_backends: Dict[str, str] = field(default_factory=dict)
+    suite_info: Dict[str, object] = field(default_factory=dict)
+    queries: List[SuiteQuery] = field(default_factory=list)
+    #: ``runs[query_id][backend]``.
+    runs: Dict[int, Dict[str, BackendRun]] = field(default_factory=dict)
+    outcomes: List[DiffOutcome] = field(default_factory=list)
+    tallies: Dict[str, BackendTally] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ verdicts
+
+    @property
+    def disagreements(self) -> List[DiffOutcome]:
+        return [o for o in self.outcomes if o.outcome == DISAGREE]
+
+    @property
+    def errors(self) -> List[DiffOutcome]:
+        return [o for o in self.outcomes if o.outcome == ERROR]
+
+    @property
+    def passed(self) -> bool:
+        """No disagreement and no execution error anywhere in the fleet."""
+        return not self.disagreements and not self.errors and not any(
+            run.error for runs in self.runs.values()
+            for run in runs.values()
+        )
+
+    def comparison_records(self) -> List[ComparisonRecord]:
+        return [outcome.to_comparison_record() for outcome in self.outcomes]
+
+    # -------------------------------------------------------- attribution
+
+    def rule_attribution(self) -> Dict[str, Dict[str, int]]:
+        """Disagreements/errors per generating rule node.
+
+        A disagreeing query implicates its ``generated_for`` node
+        directly, and every rule in its ``RuleSet`` weakly (any of them
+        may have produced the wrong transformation).
+        """
+        by_query = {query.query_id: query for query in self.queries}
+        attribution: Dict[str, Dict[str, int]] = {}
+
+        def bucket(rule: str) -> Dict[str, int]:
+            return attribution.setdefault(
+                rule,
+                {"generated_for": 0, "implicated": 0, "errors": 0},
+            )
+
+        for outcome in self.outcomes:
+            if outcome.outcome not in (DISAGREE, ERROR):
+                continue
+            query = by_query.get(outcome.query_id)
+            if query is None:
+                continue
+            key = "errors" if outcome.outcome == ERROR else "generated_for"
+            for rule in query.generated_for:
+                bucket(rule)[key] += 1
+            if outcome.outcome == DISAGREE:
+                for rule in sorted(query.ruleset):
+                    bucket(rule)["implicated"] += 1
+        return attribution
+
+    # ------------------------------------------------------------- exports
+
+    def to_json_dict(self) -> Dict[str, object]:
+        query_payload = []
+        for query in self.queries:
+            runs = self.runs.get(query.query_id, {})
+            entry: Dict[str, object] = {
+                "id": query.query_id,
+                "generated_for": list(query.generated_for),
+                "ruleset": sorted(query.ruleset),
+                "runs": {
+                    name: run.to_json_dict()
+                    for name, run in sorted(runs.items())
+                },
+                "outcomes": {
+                    outcome.backend: {
+                        "outcome": outcome.outcome,
+                        "detail": outcome.detail,
+                        "plan_match": outcome.plan_match,
+                    }
+                    for outcome in self.outcomes
+                    if outcome.query_id == query.query_id
+                },
+            }
+            query_payload.append(entry)
+        return {
+            "campaign": {
+                "backends": list(self.backends),
+                "reference": self.reference,
+                "skipped_backends": dict(sorted(
+                    self.skipped_backends.items()
+                )),
+                "suite": dict(self.suite_info),
+            },
+            "queries": query_payload,
+            "summary": {
+                "per_backend": {
+                    name: tally.as_dict()
+                    for name, tally in sorted(self.tallies.items())
+                },
+                "disagreements": len(self.disagreements),
+                "errors": len(self.errors),
+                "rule_attribution": self.rule_attribution(),
+                "passed": self.passed,
+            },
+        }
+
+    def to_json(self) -> str:
+        """Deterministic collect artifact: byte-identical across fresh
+        processes for the same (seed, fleet, suite) inputs."""
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
+
+    def to_text(self) -> str:
+        lines = [
+            f"differential fleet: {', '.join(self.backends)} "
+            f"(reference: {self.reference})",
+        ]
+        for name, reason in sorted(self.skipped_backends.items()):
+            lines.append(f"skipped backend {name}: {reason}")
+        lines.append(f"queries: {len(self.queries)}")
+        for name, tally in sorted(self.tallies.items()):
+            plan = ""
+            if tally.plan_comparisons:
+                plan = (
+                    f", plans: {tally.plan_comparisons} compared / "
+                    f"{tally.plan_divergences} diverged"
+                )
+            lines.append(
+                f"  vs {name:<10} agree={tally.agree} "
+                f"disagree={tally.disagree} error={tally.error} "
+                f"skip={tally.skip}{plan}"
+            )
+        for outcome in self.disagreements:
+            lines.append(
+                f"DISAGREE [{outcome.backend}] query "
+                f"{outcome.query_id}: {outcome.detail}"
+            )
+        for outcome in self.errors:
+            lines.append(
+                f"ERROR [{outcome.backend}] query {outcome.query_id}: "
+                f"{outcome.detail}"
+            )
+        attribution = self.rule_attribution()
+        if attribution:
+            lines.append("rule attribution (disagreements/errors):")
+            for rule, counts in sorted(attribution.items()):
+                lines.append(
+                    f"  {rule:<32} generated_for={counts['generated_for']} "
+                    f"implicated={counts['implicated']} "
+                    f"errors={counts['errors']}"
+                )
+        lines.append("PASSED" if self.passed else "FAILED")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = ["# Differential fleet report", ""]
+        lines.append(
+            f"Fleet: {', '.join(f'`{b}`' for b in self.backends)} — "
+            f"reference `{self.reference}`, {len(self.queries)} queries."
+        )
+        if self.skipped_backends:
+            lines.append("")
+            for name, reason in sorted(self.skipped_backends.items()):
+                lines.append(f"- skipped `{name}`: {reason}")
+        lines += [
+            "",
+            "| backend | agree | disagree | error | skip "
+            "| plans compared | plans diverged |",
+            "|---|---:|---:|---:|---:|---:|---:|",
+        ]
+        for name, tally in sorted(self.tallies.items()):
+            lines.append(
+                f"| `{name}` | {tally.agree} | {tally.disagree} "
+                f"| {tally.error} | {tally.skip} "
+                f"| {tally.plan_comparisons} | {tally.plan_divergences} |"
+            )
+        if self.disagreements or self.errors:
+            lines += ["", "## Findings", ""]
+            by_query = {query.query_id: query for query in self.queries}
+            for outcome in self.disagreements + self.errors:
+                query = by_query.get(outcome.query_id)
+                sql = ""
+                if query is not None:
+                    run = self.runs.get(outcome.query_id, {}).get(
+                        self.reference
+                    )
+                    sql = f"\n  - `{run.sql}`" if run else ""
+                lines.append(
+                    f"- **{outcome.outcome}** `{outcome.backend}` on "
+                    f"query {outcome.query_id}: {outcome.detail}{sql}"
+                )
+        lines += ["", f"**{'PASSED' if self.passed else 'FAILED'}**"]
+        return "\n".join(lines)
+
+
+class DifferentialRunner:
+    """Fans a test suite across a backend fleet and unifies verdicts."""
+
+    def __init__(
+        self,
+        database: Database,
+        backends: Sequence[Backend],
+        *,
+        skipped_backends: Optional[Dict[str, str]] = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if len(backends) < 2:
+            raise ValueError(
+                "a differential fleet needs at least two backends "
+                f"(got {[b.name for b in backends]})"
+            )
+        names = [backend.name for backend in backends]
+        if len(set(names)) != len(names):
+            raise ValueError(f"backend names must be unique: {names}")
+        self.database = database
+        self.backends = list(backends)
+        self.skipped_backends = dict(skipped_backends or {})
+        self.tracer = tracer
+        self.metrics = metrics
+
+    # ------------------------------------------------------------- helpers
+
+    def _count(self, name: str, amount: int = 1, **labels: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, **labels).inc(amount)
+
+    def _run_backend(
+        self, backend: Backend, queries: Sequence[SuiteQuery]
+    ) -> List[BackendRun]:
+        """One backend's serial pass over the suite (its own thread)."""
+        # No metrics here: this runs on a worker thread and the registry
+        # is not thread-safe; execution counts are bumped in run().
+        with self.tracer.span(
+            "diff.backend", cat="testing",
+            backend=backend.name, queries=len(queries),
+        ):
+            backend.ensure_ready(self.database)
+            return [
+                backend.run(query.query_id, query.tree)
+                for query in queries
+            ]
+
+    # -------------------------------------------------------------- public
+
+    def run(self, suite: TestSuite, suite_info: Optional[Dict] = None) -> DiffReport:
+        """Execute every suite query on every backend and unify."""
+        queries = list(suite.queries)
+        report = DiffReport(
+            backends=[backend.name for backend in self.backends],
+            reference=self.backends[0].name,
+            skipped_backends=self.skipped_backends,
+            suite_info=dict(suite_info or {}),
+            queries=queries,
+        )
+        with self.tracer.span(
+            "diff.run", cat="testing",
+            backends=",".join(report.backends), queries=len(queries),
+        ):
+            with ThreadPoolExecutor(
+                max_workers=len(self.backends)
+            ) as pool:
+                futures = [
+                    pool.submit(self._run_backend, backend, queries)
+                    for backend in self.backends
+                ]
+                per_backend = [future.result() for future in futures]
+        for query, *runs in zip(queries, *per_backend):
+            report.runs[query.query_id] = {
+                run.backend: run for run in runs
+            }
+        self._count("diff.queries", len(queries))
+        for backend in self.backends:
+            self._count(
+                "diff.executions", len(queries), backend=backend.name
+            )
+        self._unify(report)
+        return report
+
+    # --------------------------------------------------------- unification
+
+    def _unify(self, report: DiffReport) -> None:
+        reference = self.backends[0]
+        others = self.backends[1:]
+        for name in report.backends[1:]:
+            report.tallies[name] = BackendTally()
+        for query in report.queries:
+            runs = report.runs[query.query_id]
+            ref_run = runs[reference.name]
+            for backend in others:
+                run = runs[backend.name]
+                outcome = self._judge(ref_run, run)
+                outcome = self._attach_plan_verdict(
+                    reference, backend, ref_run, run, outcome
+                )
+                report.outcomes.append(outcome)
+                tally = report.tallies[backend.name]
+                tally.bump(outcome.outcome)
+                if outcome.plan_match is not None:
+                    tally.plan_comparisons += 1
+                    if not outcome.plan_match:
+                        tally.plan_divergences += 1
+                self._count(
+                    "diff.outcomes",
+                    backend=backend.name, outcome=outcome.outcome,
+                )
+                if outcome.outcome == DISAGREE and self.tracer.enabled:
+                    self.tracer.event(
+                        "diff.disagreement", cat="testing",
+                        query=outcome.query_id, backend=backend.name,
+                    )
+
+    @staticmethod
+    def _judge(ref_run: BackendRun, run: BackendRun) -> DiffOutcome:
+        query_id = run.query_id
+        if not ref_run.succeeded:
+            return DiffOutcome(
+                query_id, run.backend, SKIP,
+                f"reference failed: {ref_run.error}",
+            )
+        if not run.succeeded:
+            return DiffOutcome(query_id, run.backend, ERROR, run.error or "")
+        if ref_run.column_count != run.column_count and (
+            ref_run.row_count and run.row_count
+        ):
+            return DiffOutcome(
+                query_id, run.backend, DISAGREE,
+                f"column count differs: {ref_run.column_count} vs "
+                f"{run.column_count}",
+            )
+        if ref_run.bag != run.bag:
+            return DiffOutcome(
+                query_id, run.backend, DISAGREE,
+                bag_diff_summary(ref_run.bag, run.bag),
+            )
+        return DiffOutcome(query_id, run.backend, AGREE)
+
+    def _attach_plan_verdict(
+        self,
+        reference: Backend,
+        backend: Backend,
+        ref_run: BackendRun,
+        run: BackendRun,
+        outcome: DiffOutcome,
+    ) -> DiffOutcome:
+        if (
+            reference.plan_language is None
+            or reference.plan_language != backend.plan_language
+            or ref_run.plan is None
+            or run.plan is None
+        ):
+            return outcome
+        matched = ref_run.plan.nodes == run.plan.nodes
+        self._count("diff.plan_comparisons")
+        if not matched:
+            self._count("diff.plan_divergences")
+        # DiffOutcome is frozen; rebuild with the plan verdict attached.
+        return DiffOutcome(
+            query_id=outcome.query_id,
+            backend=outcome.backend,
+            outcome=outcome.outcome,
+            detail=outcome.detail,
+            plan_match=matched,
+        )

@@ -1,0 +1,209 @@
+"""The backend protocol and fleet registry (`repro.backends`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    Backend,
+    BackendError,
+    EngineBackend,
+    PlanShape,
+    SqliteBackend,
+    bag_diff_summary,
+    bag_fingerprint,
+    create_backend,
+    create_backends,
+    normalized_bag,
+    physical_plan_shape,
+    sqlite_mirror,
+)
+from repro.sql.binder import sql_to_tree
+from repro.sql.dialect import ENGINE_DIALECT
+from repro.workloads import tpch_database
+
+
+def _has_duckdb() -> bool:
+    try:
+        import duckdb  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class TestNormalization:
+    def test_booleans_normalize_to_ints(self):
+        assert normalized_bag([(True, 1)]) == normalized_bag([(1, 1)])
+        assert normalized_bag([(False,)]) == normalized_bag([(0,)])
+
+    def test_floats_are_quantized(self):
+        assert normalized_bag([(0.1 + 0.2,)]) == normalized_bag([(0.3,)])
+
+    def test_bags_are_multisets(self):
+        assert normalized_bag([(1,), (1,)]) != normalized_bag([(1,)])
+
+    def test_bag_fingerprint_is_order_independent(self):
+        one = normalized_bag([(1, "a"), (2, "b")])
+        two = normalized_bag([(2, "b"), (1, "a")])
+        assert bag_fingerprint(one) == bag_fingerprint(two)
+
+    def test_bag_diff_summary_names_both_sides(self):
+        expected = normalized_bag([(1,), (2,)])
+        actual = normalized_bag([(2,), (3,)])
+        summary = bag_diff_summary(expected, actual)
+        assert "only in reference" in summary
+        assert "only here" in summary
+
+
+class TestPlanShape:
+    def test_text_indents_by_depth(self):
+        shape = PlanShape("repro", ((0, "HashJoin"), (1, "TableScan")))
+        assert shape.to_text() == "HashJoin\n  TableScan"
+
+    def test_fingerprint_depends_on_language(self):
+        nodes = ((0, "SCAN"),)
+        assert (
+            PlanShape("a", nodes).fingerprint()
+            != PlanShape("b", nodes).fingerprint()
+        )
+
+    def test_json_dict_round_trips_nodes(self):
+        shape = PlanShape("repro", ((0, "TableScan"),))
+        payload = shape.to_json_dict()
+        assert payload["language"] == "repro"
+        assert payload["nodes"] == [[0, "TableScan"]]
+        assert payload["fingerprint"] == shape.fingerprint()
+
+
+class TestSqliteBackend:
+    def test_mirror_preserves_row_counts(self, tpch_db):
+        conn = sqlite_mirror(tpch_db)
+        try:
+            for table in tpch_db.tables():
+                name = table.definition.name
+                (count,) = conn.execute(
+                    f'SELECT COUNT(*) FROM "{name}"'
+                ).fetchone()
+                assert count == len(table.rows), name
+        finally:
+            conn.close()
+
+    def test_run_captures_eqp_plan(self, tpch_db):
+        backend = SqliteBackend()
+        backend.ensure_ready(tpch_db)
+        tree = sql_to_tree(
+            "SELECT n_regionkey, COUNT(*) FROM nation GROUP BY n_regionkey",
+            tpch_db.catalog,
+        )
+        run = backend.run(7, tree)
+        backend.close()
+        assert run.succeeded
+        assert run.query_id == 7
+        assert run.plan is not None
+        assert run.plan.language == "sqlite-eqp"
+        assert run.plan.nodes  # at least the scan row
+
+    def test_execute_before_setup_is_an_error_run(self, tpch_db):
+        backend = SqliteBackend()
+        tree = sql_to_tree("SELECT r_name FROM region", tpch_db.catalog)
+        run = backend.run(0, tree)  # run() does not call ensure_ready
+        assert not run.succeeded
+        assert "not set up" in run.error
+
+
+class TestEngineBackend:
+    def test_run_speaks_the_repro_plan_language(self, tpch_db, registry):
+        backend = EngineBackend(tpch_db, registry=registry)
+        tree = sql_to_tree("SELECT r_name FROM region", tpch_db.catalog)
+        backend.ensure_ready(tpch_db)
+        run = backend.run(0, tree)
+        assert run.succeeded
+        assert run.row_count == len(tpch_db.table("region").rows)
+        assert run.plan.language == "repro"
+        assert run.plan.nodes[0][0] == 0
+
+    def test_physical_plan_shape_has_depths(self, tpch_db, registry):
+        backend = EngineBackend(tpch_db, registry=registry)
+        tree = sql_to_tree(
+            "SELECT n_name, r_name FROM nation "
+            "JOIN region ON n_regionkey = r_regionkey",
+            tpch_db.catalog,
+        )
+        shape = physical_plan_shape(
+            backend.service.optimize(tree).plan
+        )
+        depths = [depth for depth, _ in shape.nodes]
+        assert depths[0] == 0 and max(depths) >= 1
+
+    def test_setup_rejects_a_foreign_database(self, tpch_db):
+        backend = EngineBackend(tpch_db)
+        other = tpch_database(seed=2)
+        with pytest.raises(BackendError):
+            backend.setup(other)
+
+    def test_needs_a_database_or_service(self):
+        with pytest.raises(ValueError):
+            EngineBackend()
+
+    def test_run_never_raises_on_failing_sql(self, tpch_db, registry):
+        class Exploding(EngineBackend):
+            def execute(self, tree, sql):
+                raise BackendError("boom")
+
+        backend = Exploding(tpch_db, registry=registry)
+        tree = sql_to_tree("SELECT r_name FROM region", tpch_db.catalog)
+        run = backend.run(0, tree)
+        assert not run.succeeded and run.error == "boom"
+
+
+class TestRegistry:
+    def test_engine_and_sqlite_are_always_available(self, tpch_db):
+        backends, skipped = create_backends(
+            ["engine", "sqlite"], tpch_db
+        )
+        assert [backend.name for backend in backends] == ["engine", "sqlite"]
+        assert skipped == {}
+
+    def test_unknown_backend_raises(self, tpch_db):
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("postgres", tpch_db)
+
+    def test_duplicate_request_raises(self, tpch_db):
+        with pytest.raises(ValueError, match="twice"):
+            create_backends(["engine", "engine"], tpch_db)
+
+    @pytest.mark.skipif(_has_duckdb(), reason="duckdb is installed")
+    def test_missing_duckdb_becomes_a_recorded_skip(self, tpch_db):
+        backends, skipped = create_backends(
+            ["engine", "sqlite", "duckdb"], tpch_db
+        )
+        assert [backend.name for backend in backends] == ["engine", "sqlite"]
+        assert "duckdb" in skipped and "not installed" in skipped["duckdb"]
+
+    @pytest.mark.skipif(not _has_duckdb(), reason="duckdb not installed")
+    def test_duckdb_joins_the_fleet_when_installed(self, tpch_db):
+        backends, skipped = create_backends(["engine", "duckdb"], tpch_db)
+        assert skipped == {}
+        duck = backends[1]
+        duck.ensure_ready(tpch_db)
+        tree = sql_to_tree("SELECT r_name FROM region", tpch_db.catalog)
+        run = duck.run(0, tree)
+        duck.close()
+        assert run.succeeded
+        assert run.row_count == len(tpch_db.table("region").rows)
+
+
+class TestProtocolDefaults:
+    def test_capabilities_reflect_plan_language(self, tpch_db):
+        class NoExplain(Backend):
+            name = "bare"
+            dialect = ENGINE_DIALECT
+
+            def setup(self, database):
+                pass
+
+            def execute(self, tree, sql):
+                return []
+
+        assert NoExplain().capabilities == ("execute",)
+        assert "explain" in SqliteBackend().capabilities

@@ -263,3 +263,48 @@ class TestTrace:
         out = capsys.readouterr().out
         assert "campaign over 2 rules" in out
         assert "service requests:" in out
+
+
+class TestDiff:
+    def test_fleet_passes_on_the_seed_registry(self, capsys):
+        assert main(["diff", "--rules", "2", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "vs sqlite" in out
+        assert "PASSED" in out
+
+    def test_json_format_and_collect_artifact(self, tmp_path, capsys):
+        collect = tmp_path / "collect.json"
+        assert main(
+            ["diff", "--rules", "2", "--k", "1", "--format", "json",
+             "--collect-out", str(collect)]
+        ) == 0
+        assert str(collect) in capsys.readouterr().out
+        payload = json.loads(collect.read_text())
+        assert payload["campaign"]["reference"] == "engine"
+        assert payload["summary"]["passed"] is True
+        assert payload["campaign"]["suite"]["k"] == 1
+
+    def test_markdown_to_file(self, tmp_path, capsys):
+        target = tmp_path / "diff.md"
+        assert main(
+            ["diff", "--rules", "2", "--k", "1", "--format", "markdown",
+             "--output", str(target)]
+        ) == 0
+        assert "| `sqlite` |" in target.read_text()
+
+    def test_fault_injection_fails_the_fleet(self, capsys):
+        assert main(
+            ["--seed", "37", "diff", "--rules", "3", "--k", "4",
+             "--fault", "LojToJoinOnNullReject"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "DISAGREE" in out
+        assert "FAILED" in out
+
+    def test_unknown_backend_exits_two(self, capsys):
+        assert main(["diff", "--backends", "engine,postgres"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_fleet_of_one_exits_two(self, capsys):
+        assert main(["diff", "--backends", "engine"]) == 2
+        assert "at least two" in capsys.readouterr().err

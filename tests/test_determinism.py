@@ -83,6 +83,43 @@ def _generation_artifact() -> str:
     return completed.stdout
 
 
+# The differential collect artifact must also be a pure function of
+# (database seed, generation seed, fleet).  Fresh interpreter for the same
+# reason as above: Column cids are process-global.
+_DIFF_SCRIPT = """
+from repro.backends import create_backends
+from repro.rules.registry import default_registry
+from repro.testing.differential import DifferentialRunner
+from repro.testing.suite import TestSuiteBuilder, singleton_nodes
+from repro.workloads import tpch_database
+
+database = tpch_database(seed=1)
+registry = default_registry()
+suite = TestSuiteBuilder(
+    database, registry, seed=7, extra_operators=2
+).build(singleton_nodes(["JoinCommutativity", "DistinctToGbAgg"]), k=2)
+backends, skipped = create_backends(
+    ["engine", "sqlite"], database, registry=registry
+)
+report = DifferentialRunner(
+    database, backends, skipped_backends=skipped
+).run(suite, suite_info={"seed": 7})
+print(report.to_json())
+"""
+
+
+def _diff_artifact() -> str:
+    completed = subprocess.run(
+        [sys.executable, "-c", _DIFF_SCRIPT],
+        capture_output=True,
+        text=True,
+        cwd=_REPO,
+        env={"PYTHONPATH": str(_REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
 def _mutation_artifact(database, registry, **overrides) -> str:
     params = {
         "pool": 3, "k": 1, "seeds": (3,), "extra_operators": 2,
@@ -101,6 +138,13 @@ def test_generation_and_compression_are_deterministic():
     first = _generation_artifact()
     second = _generation_artifact()
     assert first == second
+
+
+def test_diff_collect_artifact_is_byte_identical():
+    first = _diff_artifact()
+    second = _diff_artifact()
+    assert first == second
+    assert '"passed": true' in first
 
 
 def test_mutation_report_is_deterministic(tpch_db, registry):

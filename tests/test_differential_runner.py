@@ -1,0 +1,233 @@
+"""The differential fleet runner (`repro.testing.differential`).
+
+Three layers: outcome unification over stub backends (every verdict and
+its `ComparisonRecord` mapping), agreement of the real engine/sqlite
+fleet on seed-registry suites (plus plan diffing between two engine
+variants), and the oracle's kill power -- each of the four handwritten
+rule faults must surface as a backend disagreement.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.backends import (
+    Backend,
+    BackendError,
+    EngineBackend,
+    create_backends,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.optimizer.config import DEFAULT_CONFIG
+from repro.rules.faults import ALL_FAULTS
+from repro.rules.registry import default_registry
+from repro.sql.binder import sql_to_tree
+from repro.sql.dialect import ENGINE_DIALECT
+from repro.testing.differential import (
+    AGREE,
+    DISAGREE,
+    ERROR,
+    SKIP,
+    DifferentialRunner,
+    DiffOutcome,
+)
+from repro.testing.suite import SuiteQuery, TestSuite, singleton_nodes
+from repro.testing.suite import TestSuiteBuilder
+
+
+class _StubBackend(Backend):
+    """Executes nothing: returns canned rows (or raises)."""
+
+    dialect = ENGINE_DIALECT
+
+    def __init__(self, name, rows=None, fail=False):
+        super().__init__()
+        self.name = name
+        self._rows = rows if rows is not None else [(1,), (2,)]
+        self._fail = fail
+
+    def setup(self, database):
+        pass
+
+    def execute(self, tree, sql):
+        if self._fail:
+            raise BackendError(f"{self.name} exploded")
+        return self._rows
+
+
+def _tiny_suite(tpch_db):
+    tree = sql_to_tree("SELECT r_regionkey FROM region", tpch_db.catalog)
+    query = SuiteQuery(
+        query_id=0, tree=tree, sql="SELECT r_regionkey FROM region",
+        cost=1.0, ruleset=frozenset({"JoinCommutativity"}),
+        generated_for=("JoinCommutativity",),
+    )
+    return TestSuite(
+        rule_nodes=[("JoinCommutativity",)], queries=[query], k=1
+    )
+
+
+class TestUnification:
+    def test_each_verdict_and_its_record(self, tpch_db):
+        reference = _StubBackend("ref")
+        runner = DifferentialRunner(
+            tpch_db,
+            [
+                reference,
+                _StubBackend("same"),
+                _StubBackend("wrong", rows=[(1,), (3,)]),
+                _StubBackend("broken", fail=True),
+            ],
+        )
+        report = runner.run(_tiny_suite(tpch_db))
+        verdicts = {o.backend: o.outcome for o in report.outcomes}
+        assert verdicts == {
+            "same": AGREE, "wrong": DISAGREE, "broken": ERROR,
+        }
+        records = {
+            record.rule_node: record.outcome
+            for record in report.comparison_records()
+        }
+        assert records == {
+            ("backend:same",): "equal",
+            ("backend:wrong",): "mismatch",
+            ("backend:broken",): "error",
+        }
+        assert not report.passed
+
+    def test_reference_failure_skips_the_comparison(self, tpch_db):
+        runner = DifferentialRunner(
+            tpch_db,
+            [_StubBackend("ref", fail=True), _StubBackend("other")],
+        )
+        report = runner.run(_tiny_suite(tpch_db))
+        (outcome,) = report.outcomes
+        assert outcome.outcome == SKIP
+        assert "reference failed" in outcome.detail
+        # A skipped comparison is not a pass: the reference errored.
+        assert not report.passed
+
+    def test_disagreement_attributes_the_generating_rule(self, tpch_db):
+        runner = DifferentialRunner(
+            tpch_db,
+            [_StubBackend("ref"), _StubBackend("wrong", rows=[(9,)])],
+        )
+        report = runner.run(_tiny_suite(tpch_db))
+        attribution = report.rule_attribution()
+        assert attribution["JoinCommutativity"]["generated_for"] == 1
+        assert attribution["JoinCommutativity"]["implicated"] == 1
+
+    def test_needs_two_backends_with_unique_names(self, tpch_db):
+        with pytest.raises(ValueError, match="at least two"):
+            DifferentialRunner(tpch_db, [_StubBackend("only")])
+        with pytest.raises(ValueError, match="unique"):
+            DifferentialRunner(
+                tpch_db, [_StubBackend("twin"), _StubBackend("twin")]
+            )
+
+    def test_unknown_outcome_name_is_impossible(self):
+        with pytest.raises(KeyError):
+            DiffOutcome(0, "x", "bogus").to_comparison_record()
+
+
+@pytest.fixture(scope="module")
+def small_suite(tpch_db, registry):
+    names = ["JoinCommutativity", "SelectPushBelowJoinLeft"]
+    builder = TestSuiteBuilder(
+        tpch_db, registry, seed=3, extra_operators=2
+    )
+    return builder.build(singleton_nodes(names), k=2)
+
+
+class TestSeedFleet:
+    def test_engine_and_sqlite_agree_on_generated_suites(
+        self, tpch_db, registry, small_suite
+    ):
+        backends, skipped = create_backends(
+            ["engine", "sqlite"], tpch_db, registry=registry
+        )
+        metrics = MetricsRegistry()
+        report = DifferentialRunner(
+            tpch_db, backends, skipped_backends=skipped, metrics=metrics,
+        ).run(small_suite)
+        assert report.passed
+        tally = report.tallies["sqlite"]
+        assert tally.agree == len(small_suite.queries)
+        assert tally.disagree == tally.error == tally.skip == 0
+        # Different plan languages: shapes recorded but never compared.
+        assert tally.plan_comparisons == 0
+        assert metrics.counter_value("diff.queries") == len(
+            small_suite.queries
+        )
+        assert metrics.counter_value(
+            "diff.outcomes", backend="sqlite", outcome="agree"
+        ) == len(small_suite.queries)
+
+    def test_engine_variants_diff_plan_shapes(
+        self, tpch_db, registry, small_suite
+    ):
+        variant_config = DEFAULT_CONFIG.with_disabled(
+            ["JoinCommutativity"]
+        )
+        backends = [
+            EngineBackend(tpch_db, registry=registry),
+            EngineBackend(
+                tpch_db, registry=registry, config=variant_config,
+                name="engine-nojc",
+            ),
+        ]
+        report = DifferentialRunner(tpch_db, backends).run(small_suite)
+        assert report.passed  # same results, possibly different plans
+        tally = report.tallies["engine-nojc"]
+        assert tally.plan_comparisons == len(small_suite.queries)
+        # Disabling a rule the suite exercises must change some plan.
+        assert tally.plan_divergences > 0
+
+    def test_collect_artifact_shape(self, tpch_db, registry, small_suite):
+        backends, skipped = create_backends(
+            ["engine", "sqlite"], tpch_db, registry=registry
+        )
+        report = DifferentialRunner(
+            tpch_db, backends, skipped_backends=skipped
+        ).run(small_suite, suite_info={"seed": 3})
+        payload = json.loads(report.to_json())
+        assert payload["campaign"]["reference"] == "engine"
+        assert payload["campaign"]["suite"] == {"seed": 3}
+        assert payload["summary"]["passed"] is True
+        assert len(payload["queries"]) == len(small_suite.queries)
+        first = payload["queries"][0]
+        assert set(first["runs"]) == {"engine", "sqlite"}
+        engine_run = first["runs"]["engine"]
+        assert engine_run["bag_fingerprint"]
+        assert engine_run["plan"]["language"] == "repro"
+        assert report.to_text().endswith("PASSED")
+        assert "| `sqlite` |" in report.to_markdown()
+
+
+class TestFaultKills:
+    @pytest.mark.parametrize("rule_name", sorted(ALL_FAULTS))
+    def test_fleet_kills_every_handwritten_fault(self, tpch_db, rule_name):
+        """The independent-executor oracle detects each seeded fault.
+
+        Same calibration as the correctness runner's campaign kill test:
+        per-seed pools until the first killing disagreement.
+        """
+        fault_cls = ALL_FAULTS[rule_name]
+        for seed in (11, 23, 37, 51):
+            registry = default_registry().with_replaced_rule(fault_cls())
+            suite = TestSuiteBuilder(
+                tpch_db, registry, seed=seed, extra_operators=2
+            ).build(singleton_nodes([rule_name]), k=8)
+            backends, _ = create_backends(
+                ["engine", "sqlite"], tpch_db, registry=registry
+            )
+            report = DifferentialRunner(tpch_db, backends).run(suite)
+            assert not report.errors, [o.detail for o in report.errors]
+            if report.disagreements:
+                assert rule_name in report.rule_attribution()
+                return
+        pytest.fail(
+            f"{fault_cls.__name__} produced no backend disagreement"
+        )

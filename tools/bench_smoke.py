@@ -14,6 +14,9 @@ shared :class:`PlanService`, and writes a timing/cache-stats JSON artifact:
 * **Mutation check:** a small mutation campaign (handwritten faults under
   the multi-seed kill configuration) must run end-to-end, classify every
   mutant, and kill all four injected faults under the FULL suite.
+* **Differential check:** a reduced differential-fleet campaign
+  (engine vs SQLite, DuckDB when installed) must run end-to-end with zero
+  disagreements and zero errors on the seed registry.
 * **Tracing check:** the reduced Figure 8 pass is re-run with the
   recording tracer and metrics registry attached.  Tracing must not change
   any generation outcome (same trials, same plan costs), must keep the
@@ -41,6 +44,7 @@ from repro.testing import (
     TestSuiteBuilder,
     TopKStats,
     pair_nodes,
+    singleton_nodes,
     top_k_independent_plan,
 )
 from repro.workloads import tpch_database
@@ -236,6 +240,38 @@ def mutation_smoke(registry) -> dict:
     }
 
 
+def diff_smoke(registry, rules: int, k: int) -> dict:
+    """Reduced differential-fleet campaign (docs/BACKENDS.md): the engine
+    against SQLite (plus DuckDB when installed) on a generated suite; the
+    seed registry must produce zero disagreements and zero errors."""
+    from repro.backends import create_backends
+    from repro.testing.differential import DifferentialRunner
+
+    database = tpch_database(seed=1)
+    start = time.perf_counter()
+    suite = TestSuiteBuilder(
+        database, registry, seed=0, extra_operators=2
+    ).build(singleton_nodes(registry.exploration_rule_names[:rules]), k=k)
+    backends, skipped = create_backends(
+        ["engine", "sqlite", "duckdb"], database, registry=registry
+    )
+    report = DifferentialRunner(
+        database, backends, skipped_backends=skipped
+    ).run(suite)
+    return {
+        "seconds": time.perf_counter() - start,
+        "queries": len(suite.queries),
+        "backends": report.backends,
+        "skipped_backends": sorted(report.skipped_backends),
+        "per_backend": {
+            name: tally.as_dict() for name, tally in report.tallies.items()
+        },
+        "disagreements": len(report.disagreements),
+        "errors": len(report.errors),
+        "passed": report.passed,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rules", type=int, default=4)
@@ -251,7 +287,7 @@ def main(argv=None) -> int:
         "Figure 8 pass ('' disables)",
     )
     parser.add_argument(
-        "--trajectory-out", default="BENCH_6.json",
+        "--trajectory-out", default="BENCH_7.json",
         help="where to write the per-PR perf-trajectory summary "
         "(plans/sec, campaign wall-time, warm/cold cache ratio; "
         "'' disables).  The committed BENCH_<n>.json series lets "
@@ -266,6 +302,7 @@ def main(argv=None) -> int:
     fig8 = fig8_smoke(database, registry, service, args.rules)
     fig14 = fig14_smoke(database, registry, service, args.rules, args.k)
     mutation = mutation_smoke(registry)
+    differential = diff_smoke(registry, rules=6, k=args.k)
     tracing = tracing_smoke(
         database, registry, args.rules, args.k, args.trace_out
     )
@@ -278,6 +315,7 @@ def main(argv=None) -> int:
         "fig8": fig8,
         "fig14": fig14,
         "mutation": mutation,
+        "differential": differential,
         "tracing": tracing,
         "service": service.counters.as_dict(),
     }
@@ -297,6 +335,10 @@ def main(argv=None) -> int:
                 2,
             ),
             "mutation_campaign_seconds": round(mutation["seconds"], 3),
+            "differential_campaign_seconds": round(
+                differential["seconds"], 3
+            ),
+            "differential_queries": differential["queries"],
             "warm_cold_cache_ratio": round(
                 fig14["cold_seconds"] / max(fig14["warm_seconds"], 1e-9), 1
             ),
@@ -320,6 +362,12 @@ def main(argv=None) -> int:
         failures.append(
             "mutation: a handwritten fault survived the FULL suite "
             f"({mutation['survivors_full']})"
+        )
+    if not differential["passed"]:
+        failures.append(
+            "differential: the backend fleet disagreed on the seed "
+            f"registry ({differential['disagreements']} disagreements, "
+            f"{differential['errors']} errors)"
         )
     if not tracing["outcomes_identical"]:
         failures.append("tracing: changed a generation outcome or plan cost")
