@@ -234,6 +234,96 @@ def _build_parser() -> argparse.ArgumentParser:
         "expected-detectable mutants is below this fraction (e.g. 0.9)",
     )
 
+    compress = commands.add_parser(
+        "compress",
+        help="detection-aware suite compression over a mutation kill "
+        "matrix (see docs/COMPRESSION.md)",
+    )
+    compress.add_argument(
+        "--matrix", metavar="PATH",
+        help="reuse a `repro mutate --format json` artifact instead of "
+        "running a fresh campaign",
+    )
+    compress.add_argument(
+        "--objective", choices=["coverage", "detection", "pareto"],
+        default="detection",
+        help="coverage: score the campaign's k-coverage variants; "
+        "detection: greedy kill-per-cost selection; pareto: sweep "
+        "budgets into a cost-vs-detection frontier (default detection)",
+    )
+    compress.add_argument(
+        "--base-k", type=int, default=2, metavar="K",
+        help="per-rule budget of the detection objective (default 2; "
+        "matches the campaign's k for a like-for-like comparison)",
+    )
+    compress.add_argument(
+        "--ks", type=int, nargs="+", default=None, metavar="K",
+        help="budgets swept by --objective pareto (default 1 2 3 4 6)",
+    )
+    compress.add_argument(
+        "--no-adaptive", action="store_true",
+        help="disable the adaptive per-rule budget raises",
+    )
+    compress.add_argument(
+        "--max-k", type=int, default=None, metavar="K",
+        help="cap for adaptive budget raises (default: the pool size)",
+    )
+    compress.add_argument(
+        "--no-cross-validate", action="store_true",
+        help="skip the leave-one-out generalization score (faster on "
+        "large matrices)",
+    )
+    compress.add_argument(
+        "--rules", type=int, default=10,
+        help="exploration rules mutated when no --matrix is given",
+    )
+    compress.add_argument(
+        "--pool", type=int, default=8,
+        help="queries regenerated per mutant for a fresh campaign",
+    )
+    compress.add_argument(
+        "--k", type=int, default=2,
+        help="k of the campaign's coverage variants (fresh campaign)",
+    )
+    compress.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="stride-sample the fresh campaign's mutants (CI smoke mode)",
+    )
+    compress.add_argument(
+        "--extra-operators", type=int, default=4,
+        help="extra random operators wrapped around generated queries",
+    )
+    compress.add_argument(
+        "--pool-seeds", type=int, nargs="+", default=None, metavar="SEED",
+        help="generation seeds whose per-mutant pools are unioned",
+    )
+    compress.add_argument(
+        "--differential", metavar="BACKENDS", default=None,
+        help="comma-separated backend fleet folded in as a second kill "
+        "oracle during the fresh campaign (first must be 'engine', "
+        "e.g. engine,sqlite)",
+    )
+    compress.add_argument(
+        "--format", choices=["text", "json", "markdown"], default="text",
+    )
+    compress.add_argument(
+        "--output", help="write the report to this file instead of stdout"
+    )
+    compress.add_argument(
+        "--pareto-out", metavar="PATH",
+        help="also write the deterministic Pareto JSON artifact to PATH "
+        "(implies computing the pareto sweep)",
+    )
+    compress.add_argument(
+        "--matrix-out", metavar="PATH",
+        help="also write the distilled kill matrix as JSON to PATH",
+    )
+    compress.add_argument(
+        "--fail-under", type=float, default=None, metavar="FRACTION",
+        help="exit non-zero when the selected objective's detection rate "
+        "over expected-detectable mutants is below this fraction",
+    )
+
     analyze = commands.add_parser(
         "analyze",
         help="static analysis: lint the registry and verify substitutions "
@@ -529,6 +619,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "mutate":
         return _run_mutate(args, database, registry)
 
+    if args.command == "compress":
+        return _run_compress(args, database, registry)
+
     if args.command == "campaign":
         from repro.testing.report import run_campaign
 
@@ -787,6 +880,277 @@ def _run_mutate(args, database, registry) -> int:
             )
             return 1
     return 0
+
+
+def _run_compress(args, database, registry) -> int:
+    """The ``repro compress`` subcommand: detection-aware compression.
+
+    Consumes a kill matrix -- either a saved ``repro mutate --format
+    json`` artifact (``--matrix``) or a fresh campaign run here -- and
+    optimizes the compressed suite for mutant *detection* instead of
+    bare rule coverage.  All outputs are deterministic functions of the
+    matrix (see docs/COMPRESSION.md).
+    """
+    import json as json_module
+
+    from repro.obs import MetricsRegistry
+    from repro.testing.detection import (
+        DetectionError,
+        KillMatrix,
+        cross_validated_scores,
+        detection_plan,
+        pareto_report,
+        score_selection,
+    )
+
+    metrics = MetricsRegistry()
+    if args.matrix:
+        try:
+            with open(args.matrix) as handle:
+                payload = json_module.load(handle)
+            if isinstance(payload, dict) and "slot_costs" in payload:
+                # the distilled form written by --matrix-out; it carries
+                # no campaign summary, so coverage contrast is unavailable
+                matrix = KillMatrix.from_json_dict(payload)
+                payload = None
+            else:
+                matrix = KillMatrix.from_report_dict(payload)
+        except (OSError, ValueError, KeyError, DetectionError) as exc:
+            print(f"cannot load kill matrix: {exc}", file=sys.stderr)
+            return 2
+        if args.objective == "coverage" and payload is None:
+            print(
+                "the coverage objective rescores the campaign's own "
+                "SMC/TOPK variants and needs the full `repro mutate "
+                "--format json` artifact, not a distilled --matrix-out "
+                "file",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        from repro.testing.mutation import MutationCampaign
+
+        backends = None
+        if args.differential:
+            backends = [
+                name.strip()
+                for name in args.differential.split(",") if name.strip()
+            ]
+        campaign = MutationCampaign(
+            database,
+            registry,
+            pool=args.pool,
+            k=args.k,
+            seed=args.seed,
+            seeds=args.pool_seeds,
+            extra_operators=args.extra_operators,
+            workers=args.workers,
+            metrics=metrics,
+            differential_backends=backends,
+        )
+        names = registry.exploration_rule_names[: args.rules]
+        report = campaign.run(names, sample=args.sample)
+        payload = report.to_dict()
+        matrix = KillMatrix.from_report_dict(payload)
+
+    if args.matrix_out:
+        with open(args.matrix_out, "w") as handle:
+            handle.write(json_module.dumps(
+                matrix.to_json_dict(), indent=2, sort_keys=True
+            ) + "\n")
+        print(f"kill matrix written to {args.matrix_out}")
+
+    adaptive = not args.no_adaptive
+    want_pareto = args.objective == "pareto" or bool(args.pareto_out)
+    pareto = None
+    if want_pareto:
+        pareto = pareto_report(
+            matrix,
+            report=payload,
+            ks=tuple(args.ks) if args.ks else (1, 2, 3, 4, 6),
+            base_k=args.base_k,
+            max_k=args.max_k,
+            cross_validate=not args.no_cross_validate,
+            metrics=metrics,
+        )
+        if args.pareto_out:
+            with open(args.pareto_out, "w") as handle:
+                handle.write(pareto.to_json() + "\n")
+            print(f"pareto artifact written to {args.pareto_out}")
+
+    if args.objective == "pareto":
+        gate_rate = _pareto_gate_rate(pareto, args.base_k)
+        output = _render_pareto(pareto, args.format)
+    elif args.objective == "detection":
+        plan = detection_plan(
+            matrix, base_k=args.base_k, adaptive=adaptive,
+            max_k=args.max_k, metrics=metrics,
+        )
+        score = score_selection(matrix, plan.selected, metrics=metrics)
+        cross = None
+        if not args.no_cross_validate:
+            cross = cross_validated_scores(
+                matrix, base_k=args.base_k, adaptive=adaptive,
+                max_k=args.max_k,
+            )
+        gate_rate = score.rate
+        output = _render_detection(
+            matrix, plan, score, cross, args.format
+        )
+    else:  # coverage: the campaign's own k-coverage variants, rescored
+        summary = payload.get("summary", {})
+        smc = summary.get("SMC", {})
+        gate_rate = smc.get("detection_score")
+        output = _render_coverage(matrix, payload, args.format)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(output)
+
+    if args.fail_under is not None:
+        if gate_rate is None or gate_rate < args.fail_under:
+            shown = "n/a" if gate_rate is None else f"{gate_rate:.0%}"
+            print(
+                f"FAILED: {args.objective} objective detection rate "
+                f"{shown} below --fail-under {args.fail_under:.0%}"
+            )
+            return 1
+    return 0
+
+
+def _pareto_gate_rate(pareto, base_k: int):
+    """The rate ``--fail-under`` gates in pareto mode: the adaptive
+    detection point (the suite the objective recommends)."""
+    point = pareto.point(f"detection-adaptive-k{base_k}")
+    return None if point is None else point.detection_rate
+
+
+def _render_pareto(pareto, fmt: str) -> str:
+    if fmt == "json":
+        return pareto.to_json()
+    if fmt == "markdown":
+        return pareto.to_markdown()
+    lines = ["cost vs. detection sweep (* = Pareto frontier):"]
+    for point in pareto.points:
+        rate = (
+            " n/a" if point.detection_rate is None
+            else f"{point.detection_rate:>4.0%}"
+        )
+        marker = "*" if point.frontier else " "
+        lines.append(
+            f"  {marker} {point.label:<24} {point.queries:>3} queries  "
+            f"cost {point.cost:>9.1f}  detection {rate}"
+        )
+    cross = pareto.cross_validated
+    if cross is not None:
+        shown = "n/a" if cross.rate is None else f"{cross.rate:.0%}"
+        lines.append(
+            f"  leave-one-out detection of the adaptive plan: {shown} "
+            f"({cross.detected}/{cross.expected})"
+        )
+    return "\n".join(lines)
+
+
+def _render_detection(matrix, plan, score, cross, fmt: str) -> str:
+    import json as json_module
+
+    if fmt == "json":
+        return json_module.dumps(
+            {
+                "config": dict(sorted(matrix.config.items())),
+                "plan": plan.to_json_dict(matrix),
+                "score": score.to_json_dict(),
+                "cross_validated": (
+                    None if cross is None else cross.to_json_dict()
+                ),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    rate = "n/a" if score.rate is None else f"{score.rate:.0%}"
+    mode = "adaptive" if plan.adaptive else "fixed"
+    lines = [
+        f"detection objective (base_k={plan.base_k}, {mode}): "
+        f"{plan.total_queries} queries, cost {plan.cost(matrix):.1f}, "
+        f"detection {rate} ({score.detected}/{score.expected})",
+    ]
+    if plan.raises:
+        raised = ", ".join(
+            f"{rule}+{count}" for rule, count in sorted(plan.raises.items())
+        )
+        lines.append(f"adaptive budget raises: {raised}")
+    for mutant_id in score.survivors:
+        lines.append(f"SURVIVOR: {mutant_id}")
+    if cross is not None:
+        shown = "n/a" if cross.rate is None else f"{cross.rate:.0%}"
+        lines.append(
+            f"leave-one-out detection: {shown} "
+            f"({cross.detected}/{cross.expected})"
+        )
+    if fmt == "markdown":
+        header = [
+            "# Detection-objective compression", "",
+            "| rule | budget | selected slots |", "|---|---:|---|",
+        ]
+        for rule in matrix.rules:
+            slots = ", ".join(
+                str(slot) for slot in plan.selected.get(rule, ())
+            )
+            header.append(
+                f"| {rule} | {plan.budgets.get(rule, 0)} | {slots} |"
+            )
+        header.append("")
+        return "\n".join(header + lines)
+    return "\n".join(lines)
+
+
+def _render_coverage(matrix, payload, fmt: str) -> str:
+    import json as json_module
+
+    from repro.testing.detection import _coverage_points
+
+    points = _coverage_points(matrix, payload)
+    if fmt == "json":
+        return json_module.dumps(
+            {
+                "config": dict(sorted(matrix.config.items())),
+                "points": [point.to_json_dict() for point in points],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    lines = ["coverage-objective variants of the campaign, rescored:"]
+    for point in points:
+        rate = (
+            "n/a" if point.detection_rate is None
+            else f"{point.detection_rate:.0%}"
+        )
+        lines.append(
+            f"  {point.label:<24} {point.queries:>3} queries  "
+            f"cost {point.cost:>9.1f}  detection {rate}"
+        )
+        for mutant_id in point.survivors:
+            lines.append(f"    SURVIVOR: {mutant_id}")
+    if fmt == "markdown":
+        header = [
+            "# Coverage-objective scores", "",
+            "| point | queries | cost | detection |", "|---|---:|---:|---:|",
+        ]
+        for point in points:
+            rate = (
+                "n/a" if point.detection_rate is None
+                else f"{point.detection_rate:.0%}"
+            )
+            header.append(
+                f"| {point.label} | {point.queries} | {point.cost:.1f} "
+                f"| {rate} |"
+            )
+        header.append("")
+        return "\n".join(header)
+    return "\n".join(lines)
 
 
 def _run_trace(args, database, registry) -> int:

@@ -130,6 +130,31 @@ METRIC_DOCS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
         "Pattern-based queries generated into mutant evaluation pools "
         "(regenerated against each mutated registry).",
     ),
+    # ------------------------------------------------------------- compress
+    "compress.selections": (
+        "counter", ("objective",),
+        "Detection-aware suite selections computed over a kill matrix, "
+        "per objective.",
+    ),
+    "compress.selected_queries": (
+        "counter", ("objective",),
+        "Query slots chosen into detection-aware selections, per "
+        "objective.",
+    ),
+    "compress.covered_mutants": (
+        "counter", ("objective",),
+        "Expected-detectable mutants detected by a scored selection, "
+        "per objective.",
+    ),
+    "compress.adaptive_raises": (
+        "counter", (),
+        "Per-rule budget raises performed by the adaptive-k stage of "
+        "the detection objective.",
+    ),
+    "compress.pareto_points": (
+        "counter", (),
+        "Points emitted into cost-vs-detection Pareto reports.",
+    ),
     # --------------------------------------------------------- differential
     "diff.queries": (
         "counter", (),

@@ -13,6 +13,7 @@ from repro.testing.compression import (
     TopKStats,
     baseline_plan,
     matching_plan,
+    selection_plan,
     set_multicover_plan,
     top_k_independent_plan,
 )
@@ -22,6 +23,19 @@ from repro.testing.correctness import (
     CorrectnessRunner,
 )
 from repro.testing.coverage import CoverageCampaign, CoverageReport
+from repro.testing.detection import (
+    DetectionError,
+    DetectionPlan,
+    DetectionScore,
+    KillMatrix,
+    MutantRow,
+    ParetoPoint,
+    ParetoReport,
+    cross_validated_scores,
+    detection_plan,
+    pareto_report,
+    score_selection,
+)
 from repro.testing.generator import GenerationOutcome, QueryGenerator
 from repro.testing.pattern_gen import (
     PatternInstantiator,
@@ -50,8 +64,15 @@ __all__ = [
     "CostOracle",
     "CoverageCampaign",
     "CoverageReport",
+    "DetectionError",
+    "DetectionPlan",
+    "DetectionScore",
     "GenerationFailure",
     "GenerationOutcome",
+    "KillMatrix",
+    "MutantRow",
+    "ParetoPoint",
+    "ParetoReport",
     "PatternInstantiator",
     "QueryGenerator",
     "RandomQueryGenerator",
@@ -65,10 +86,15 @@ __all__ = [
     "baseline_plan",
     "column_origins",
     "compose_patterns",
+    "cross_validated_scores",
+    "detection_plan",
     "matching_plan",
     "merge_hints",
     "pair_nodes",
+    "pareto_report",
     "run_campaign",
+    "score_selection",
+    "selection_plan",
     "set_multicover_plan",
     "singleton_nodes",
     "substitution_compositions",

@@ -99,12 +99,30 @@ class MutantOutcome:
     expectation_note: str
     pool_size: int
     variants: Dict[str, VariantOutcome]
+    #: Per-pool-query verdict ``(query_id, outcome)`` pairs, ``outcome``
+    #: being the correctness runner's vocabulary (``identical`` / ``equal``
+    #: / ``mismatch`` / ``error``), after folding in any differential
+    #: backend records.  This is the mutant's *row* of the mutant x query
+    #: kill matrix that detection-aware compression optimizes over
+    #: (:mod:`repro.testing.detection`).
+    query_verdicts: Tuple[Tuple[int, str], ...] = ()
+    #: ``(query_id, Cost(q))`` for every pool query, under the mutated
+    #: build's own cost model (rounded; feeds the kill matrix slot costs).
+    query_costs: Tuple[Tuple[int, float], ...] = ()
 
     def status(self, variant: str) -> str:
         return self.variants[variant].status
 
     def detected(self, variant: str) -> bool:
         return self.variants[variant].detected
+
+    def killing_query_ids(self) -> Tuple[int, ...]:
+        """Pool queries whose verdict alone detects this mutant."""
+        return tuple(
+            query_id
+            for query_id, outcome in self.query_verdicts
+            if outcome in ("mismatch", "error")
+        )
 
 
 @dataclass
@@ -119,6 +137,9 @@ class MutationReport:
     extra_operators: int
     #: Every generation seed whose pool was unioned (first == ``seed``).
     seeds: Tuple[int, ...] = ()
+    #: Backend fleet of the optional second scoring oracle (empty when
+    #: the campaign ran with the self-comparison oracle only).
+    differential_backends: Tuple[str, ...] = ()
     outcomes: List[MutantOutcome] = field(default_factory=list)
     service_stats: Optional[Dict[str, int]] = None
 
@@ -219,6 +240,7 @@ class MutationCampaign:
         workers: int = 1,
         config: OptimizerConfig = DEFAULT_CONFIG,
         metrics=None,
+        differential_backends: Optional[Sequence[str]] = None,
     ) -> None:
         if k > pool:
             raise ValueError(f"compressed k={k} cannot exceed pool={pool}")
@@ -237,6 +259,20 @@ class MutationCampaign:
         self.workers = workers
         self.config = config
         self.metrics = metrics
+        #: Optional second scoring oracle: fan each mutant's pool across
+        #: this backend fleet (first member is the reference and must be
+        #: the engine so the mutated build is on one side) and count a
+        #: backend *disagreement* as a kill.  Backend errors/skips are
+        #: ignored -- an environment gap must not fake a detection.
+        self.differential_backends = tuple(differential_backends or ())
+        if self.differential_backends and (
+            self.differential_backends[0] != "engine"
+        ):
+            raise ValueError(
+                "the differential oracle's reference backend must be "
+                f"'engine' (got {self.differential_backends[0]!r}): the "
+                "mutated build has to sit on one side of every comparison"
+            )
         #: Aggregated counters over every per-mutant service.
         self._stats: Dict[str, int] = {}
 
@@ -269,6 +305,7 @@ class MutationCampaign:
             seed=self.seed,
             extra_operators=self.extra_operators,
             seeds=self.seeds,
+            differential_backends=self.differential_backends,
         )
         for mutant in mutants:
             outcome = self._evaluate(mutant)
@@ -336,6 +373,8 @@ class MutationCampaign:
                 suite, node, registry, service
             )
             verdicts = self._verdicts(suite, node, registry, service)
+            if self.differential_backends:
+                self._fold_differential(suite, registry, service, verdicts)
         finally:
             for key, value in service.counters.as_dict().items():
                 self._stats[key] = self._stats.get(key, 0) + value
@@ -361,7 +400,57 @@ class MutationCampaign:
             expectation_note=mutant.expectation_note,
             pool_size=suite.size,
             variants=variants,
+            query_verdicts=tuple(
+                (query.query_id,
+                 verdicts.get(query.query_id, ("identical", ""))[0])
+                for query in suite.queries
+            ),
+            query_costs=tuple(
+                (query.query_id, round(query.cost, 6))
+                for query in suite.queries
+            ),
         )
+
+    def _fold_differential(self, suite, registry, service, verdicts) -> None:
+        """Second scoring oracle: fan the pool across the backend fleet.
+
+        A backend *disagreement* upgrades the query's verdict to
+        ``mismatch`` (the mutated engine build sits on the reference side,
+        so a bag difference against an independent implementation is a
+        kill even when ``Plan(q)`` vs ``Plan(q, ¬R)`` agreed -- e.g. when
+        both plans contain the same wrong transformation).  Backend
+        errors and skips are deliberately NOT folded: an unavailable
+        driver or an environment failure must never fake a detection.
+        """
+        from repro.backends import create_backends
+        from repro.testing.differential import DISAGREE, DifferentialRunner
+
+        try:
+            backends, skipped = create_backends(
+                self.differential_backends, self.database,
+                registry=registry, service=service,
+            )
+            if len(backends) < 2:
+                return
+            runner = DifferentialRunner(
+                self.database, backends, skipped_backends=skipped,
+            )
+            diff_report = runner.run(suite)
+        except Exception:  # the second oracle is best-effort by design
+            return
+        for outcome in diff_report.outcomes:
+            if outcome.outcome != DISAGREE:
+                continue
+            detail = (
+                f"backend {outcome.backend} disagreed: {outcome.detail}"
+            )
+            current = verdicts.get(outcome.query_id)
+            if (
+                current is None
+                or _VERDICT_RANK["mismatch"]
+                > _VERDICT_RANK[current[0]]
+            ):
+                verdicts[outcome.query_id] = ("mismatch", detail)
 
     def _build_pool(self, node, registry, service):
         """Union the per-seed pools into one renumbered query list.

@@ -33,6 +33,9 @@ def report_to_dict(report) -> dict:
             "seed": report.seed,
             "seeds": list(report.seeds or (report.seed,)),
             "extra_operators": report.extra_operators,
+            "differential_backends": list(
+                getattr(report, "differential_backends", ()) or ()
+            ),
         },
         "summary": {
             variant: {
@@ -58,6 +61,16 @@ def report_to_dict(report) -> dict:
                 "expected_detectable": outcome.expected_detectable,
                 "expectation_note": outcome.expectation_note,
                 "pool_size": outcome.pool_size,
+                # The mutant's kill-matrix row: per-pool-query verdicts
+                # and costs (repro.testing.detection consumes these).
+                "query_verdicts": [
+                    [query_id, verdict]
+                    for query_id, verdict in outcome.query_verdicts
+                ],
+                "query_costs": [
+                    [query_id, cost]
+                    for query_id, cost in outcome.query_costs
+                ],
                 "variants": {
                     variant: {
                         "status": result.status,

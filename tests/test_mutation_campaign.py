@@ -98,6 +98,34 @@ class TestCampaignSmoke:
         assert report.service_stats
         assert report.service_stats.get("requests", 0) > 0
 
+    def test_outcomes_carry_the_kill_matrix_row(self, smoke_report):
+        """Every pool query's verdict and cost are recorded: the
+        detection objective (repro.testing.detection) needs them."""
+        report, _ = smoke_report
+        for outcome in report.outcomes:
+            if outcome.pool_size == 0:
+                assert outcome.query_verdicts == ()
+                continue
+            verdict_ids = [qid for qid, _ in outcome.query_verdicts]
+            cost_ids = [qid for qid, _ in outcome.query_costs]
+            assert verdict_ids == cost_ids == list(range(
+                outcome.pool_size
+            ))
+            assert all(cost > 0 for _, cost in outcome.query_costs)
+            killing = set(outcome.killing_query_ids())
+            for query_id, verdict in outcome.query_verdicts:
+                assert (verdict in ("mismatch", "error")) == (
+                    query_id in killing
+                )
+
+    def test_verdict_rows_serialize(self, smoke_report):
+        report, _ = smoke_report
+        data = json.loads(report.to_json())
+        assert data["config"]["differential_backends"] == []
+        for mutant in data["mutants"]:
+            assert len(mutant["query_verdicts"]) == mutant["pool_size"]
+            assert len(mutant["query_costs"]) == mutant["pool_size"]
+
 
 class TestClassification:
     """The record-folding core, on synthetic verdicts."""
@@ -142,6 +170,42 @@ def test_sample_strides_and_no_fire(tpch_db, registry):
 def test_k_larger_than_pool_rejected(tpch_db, registry):
     with pytest.raises(ValueError):
         MutationCampaign(tpch_db, registry, pool=2, k=3)
+
+
+def test_differential_fleet_must_lead_with_engine(tpch_db, registry):
+    """The mutated build has to sit on one side of every comparison, so
+    the reference backend of the second oracle is always 'engine'."""
+    with pytest.raises(ValueError):
+        MutationCampaign(
+            tpch_db, registry, differential_backends=("sqlite", "engine")
+        )
+
+
+def test_differential_oracle_folds_into_the_verdicts(tpch_db, registry):
+    """With the fleet enabled the campaign still classifies every mutant,
+    records the fleet in its config, and never *loses* kills: folding is
+    monotone (a backend disagreement can only upgrade a verdict)."""
+    base = MutationCampaign(
+        tpch_db, registry, pool=3, k=1, seeds=(3,), extra_operators=2,
+        max_trials=10,
+    )
+    fleet = MutationCampaign(
+        tpch_db, registry, pool=3, k=1, seeds=(3,), extra_operators=2,
+        max_trials=10, differential_backends=("engine", "sqlite"),
+    )
+    names = ["DistinctRemoveOnKey"]
+    plain = base.run(rule_names=names, operators=["handwritten"])
+    oracled = fleet.run(rule_names=names, operators=["handwritten"])
+    assert oracled.differential_backends == ("engine", "sqlite")
+    assert json.loads(oracled.to_json())["config"][
+        "differential_backends"
+    ] == ["engine", "sqlite"]
+    for before, after in zip(plain.outcomes, oracled.outcomes):
+        assert set(before.killing_query_ids()) <= set(
+            after.killing_query_ids()
+        )
+        if before.detected("FULL"):
+            assert after.detected("FULL")
 
 
 # --------------------------------------------------- hand-written faults

@@ -14,6 +14,9 @@ shared :class:`PlanService`, and writes a timing/cache-stats JSON artifact:
 * **Mutation check:** a small mutation campaign (handwritten faults under
   the multi-seed kill configuration) must run end-to-end, classify every
   mutant, and kill all four injected faults under the FULL suite.
+* **Compression check:** the detection-aware objective over that
+  campaign's kill matrix must keep every FULL-detected fault detected at
+  the k=2 budget, and the Pareto artifact must render deterministically.
 * **Differential check:** a reduced differential-fleet campaign
   (engine vs SQLite, DuckDB when installed) must run end-to-end with zero
   disagreements and zero errors on the seed registry.
@@ -229,7 +232,7 @@ def mutation_smoke(registry) -> dict:
         outcome.mutant_id: outcome.status("FULL")
         for outcome in report.outcomes
     }
-    return {
+    summary = {
         "seconds": time.perf_counter() - start,
         "mutants": len(report.outcomes),
         "full_statuses": statuses,
@@ -237,6 +240,45 @@ def mutation_smoke(registry) -> dict:
         "smc_relative": report.relative_score("SMC"),
         "topk_relative": report.relative_score("TOPK"),
         "survivors_full": report.surviving_ids("FULL"),
+    }
+    return summary, report
+
+
+def compress_smoke(report) -> dict:
+    """Detection-aware compression over the mutation smoke's kill matrix
+    (docs/COMPRESSION.md): the greedy selection at the campaign's own
+    k=2 budget must keep every FULL-detected fault detected, and the
+    Pareto artifact must be a deterministic function of the matrix
+    (rendered twice, byte-compared)."""
+    from repro.testing.detection import (
+        KillMatrix,
+        detection_plan,
+        pareto_report,
+        score_selection,
+    )
+
+    start = time.perf_counter()
+    payload = report.to_dict()
+    matrix = KillMatrix.from_report_dict(payload)
+    plan = detection_plan(matrix, base_k=2, adaptive=True)
+    score = score_selection(matrix, plan.selected)
+    full = score_selection(
+        matrix,
+        {rule: tuple(range(matrix.slot_count(rule)))
+         for rule in matrix.rules},
+    )
+    first = pareto_report(matrix, report=payload, cross_validate=False)
+    second = pareto_report(matrix, report=payload, cross_validate=False)
+    return {
+        "seconds": time.perf_counter() - start,
+        "selected_queries": plan.total_queries,
+        "selected_cost": plan.cost(matrix),
+        "adaptive_raises": sum(plan.raises.values()),
+        "detection_rate": score.rate,
+        "full_rate": full.rate,
+        "survivors": list(score.survivors),
+        "pareto_points": len(first.points),
+        "pareto_deterministic": first.to_json() == second.to_json(),
     }
 
 
@@ -287,7 +329,7 @@ def main(argv=None) -> int:
         "Figure 8 pass ('' disables)",
     )
     parser.add_argument(
-        "--trajectory-out", default="BENCH_7.json",
+        "--trajectory-out", default="BENCH_8.json",
         help="where to write the per-PR perf-trajectory summary "
         "(plans/sec, campaign wall-time, warm/cold cache ratio; "
         "'' disables).  The committed BENCH_<n>.json series lets "
@@ -301,7 +343,8 @@ def main(argv=None) -> int:
 
     fig8 = fig8_smoke(database, registry, service, args.rules)
     fig14 = fig14_smoke(database, registry, service, args.rules, args.k)
-    mutation = mutation_smoke(registry)
+    mutation, mutation_report = mutation_smoke(registry)
+    compress = compress_smoke(mutation_report)
     differential = diff_smoke(registry, rules=6, k=args.k)
     tracing = tracing_smoke(
         database, registry, args.rules, args.k, args.trace_out
@@ -315,6 +358,7 @@ def main(argv=None) -> int:
         "fig8": fig8,
         "fig14": fig14,
         "mutation": mutation,
+        "compress": compress,
         "differential": differential,
         "tracing": tracing,
         "service": service.counters.as_dict(),
@@ -344,6 +388,9 @@ def main(argv=None) -> int:
             ),
             "tracing_overhead": round(tracing["overhead"], 4),
             "warm_pass_cache_hits": fig14["warm_pass_cache_hits"],
+            "compress_detection_rate": compress["detection_rate"],
+            "compress_selected_queries": compress["selected_queries"],
+            "compress_seconds": round(compress["seconds"], 3),
         }
         Path(args.trajectory_out).write_text(
             json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
@@ -363,6 +410,14 @@ def main(argv=None) -> int:
             "mutation: a handwritten fault survived the FULL suite "
             f"({mutation['survivors_full']})"
         )
+    if compress["detection_rate"] != compress["full_rate"]:
+        failures.append(
+            "compress: the detection-objective selection lost kills "
+            f"the FULL pool had ({compress['detection_rate']} vs "
+            f"{compress['full_rate']}; survivors {compress['survivors']})"
+        )
+    if not compress["pareto_deterministic"]:
+        failures.append("compress: the Pareto artifact is not deterministic")
     if not differential["passed"]:
         failures.append(
             "differential: the backend fleet disagreed on the seed "
