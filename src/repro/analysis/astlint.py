@@ -74,6 +74,7 @@ KIND_ATTRS: Dict[OpKind, frozenset] = {
     OpKind.SELECT: frozenset({"child", "predicate"}),
     OpKind.PROJECT: frozenset({"child", "outputs", "output_columns"}),
     OpKind.JOIN: frozenset({"join_kind", "left", "right", "predicate"}),
+    OpKind.APPLY: frozenset({"apply_kind", "left", "right", "predicate"}),
     OpKind.GB_AGG: frozenset(
         {"child", "group_by", "aggregates", "phase", "output_columns"}
     ),

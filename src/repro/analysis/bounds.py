@@ -123,6 +123,13 @@ class BoundsDeriver:
             return RowBounds(0.0, 0.0)
         return RowBounds(0.0, hi)
 
+    def _derive_apply(self, op: LogicalOp) -> RowBounds:
+        # Semi/anti Apply keeps a subset of left rows (like the unnested
+        # semi/anti join); the right side only filters.
+        left = self.derive(op.children[0])
+        self.derive(op.children[1])
+        return RowBounds(0.0, left.hi)
+
     def _derive_gbagg(self, op: GbAgg) -> RowBounds:
         child = self.derive(op.child)
         if not op.group_by:
@@ -165,6 +172,7 @@ class BoundsDeriver:
         OpKind.SELECT: _derive_select,
         OpKind.PROJECT: _derive_passthrough,
         OpKind.JOIN: _derive_join,
+        OpKind.APPLY: _derive_apply,
         OpKind.GB_AGG: _derive_gbagg,
         OpKind.UNION_ALL: _derive_union_all,
         OpKind.UNION: _derive_union,

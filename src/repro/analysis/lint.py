@@ -57,6 +57,7 @@ OP_ARITY = {
     OpKind.SORT: 1,
     OpKind.LIMIT: 1,
     OpKind.JOIN: 2,
+    OpKind.APPLY: 2,
     OpKind.UNION_ALL: 2,
     OpKind.UNION: 2,
     OpKind.INTERSECT: 2,
@@ -112,7 +113,7 @@ def pattern_subsumes(wider: PatternNode, narrower: PatternNode) -> bool:
         return False
     if wider.kind is not narrower.kind:
         return False
-    if wider.kind is OpKind.JOIN:
+    if wider.kind in (OpKind.JOIN, OpKind.APPLY):
         if wider.join_kinds is not None:
             if narrower.join_kinds is None:
                 return False

@@ -250,6 +250,12 @@ class PlanSanitizer:
             if not op.join_kind.preserves_right_columns:
                 return left
             return left | right
+        if kind is PhysOpKind.NESTED_APPLY:
+            left, right = child_columns
+            require(
+                referenced_columns(op.predicate), left | right, "predicate"
+            )
+            return left
         if kind is PhysOpKind.HASH_JOIN:
             assert isinstance(op, HashJoin)
             left, right = child_columns

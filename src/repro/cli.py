@@ -127,6 +127,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exploration rules the suite is generated for (default 6)",
     )
     diff.add_argument(
+        "--rule-names", nargs="+", default=None, metavar="RULE",
+        help="generate the suite for exactly these exploration rules "
+        "(overrides --rules; e.g. the subquery-unnesting family)",
+    )
+    diff.add_argument(
         "--k", type=int, default=2, help="queries per rule (default 2)"
     )
     diff.add_argument(
@@ -189,6 +194,10 @@ def _build_parser() -> argparse.ArgumentParser:
     mutate.add_argument(
         "--rules", type=int, default=10,
         help="number of exploration rules to mutate (default 10)",
+    )
+    mutate.add_argument(
+        "--rule-names", nargs="+", default=None, metavar="RULE",
+        help="mutate exactly these exploration rules (overrides --rules)",
     )
     mutate.add_argument(
         "--operators", action="append", default=None,
@@ -739,6 +748,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     raise AssertionError(f"unhandled command {args.command}")
 
 
+def _selected_rules(args, registry):
+    """Rule names a campaign subcommand targets: the explicit
+    ``--rule-names`` list (validated against the registry) when given,
+    else the first ``--rules`` registered exploration rules."""
+    requested = getattr(args, "rule_names", None)
+    if not requested:
+        return registry.exploration_rule_names[: args.rules]
+    known = set(registry.exploration_rule_names)
+    unknown = sorted(set(requested) - known)
+    if unknown:
+        raise SystemExit(
+            "unknown exploration rules: " + ", ".join(unknown)
+        )
+    return list(requested)
+
+
 def _run_diff(args, database, registry) -> int:
     """The ``repro diff`` subcommand: run the differential backend fleet.
 
@@ -756,7 +781,7 @@ def _run_diff(args, database, registry) -> int:
         database, registry=registry, workers=args.workers, cache_dir=None
     )
 
-    names = registry.exploration_rule_names[: args.rules]
+    names = _selected_rules(args, registry)
     builder = TestSuiteBuilder(
         database, registry, seed=args.seed,
         extra_operators=args.extra_operators, service=service,
@@ -850,7 +875,7 @@ def _run_mutate(args, database, registry) -> int:
         workers=args.workers,
         metrics=metrics,
     )
-    names = registry.exploration_rule_names[: args.rules]
+    names = _selected_rules(args, registry)
     report = campaign.run(
         names, operators=args.operators, sample=args.sample
     )

@@ -29,6 +29,7 @@ from repro.physical.operators import (
     HashJoin,
     HashUnion,
     MergeJoin,
+    NestedApply,
     NestedLoopsJoin,
     PhysicalOp,
     PhysOpKind,
@@ -175,6 +176,24 @@ def _exec_nested_loops(op: NestedLoopsJoin, database: Database):
                 out.append(lrow)
         return out, left_columns
     raise ExecutionError(f"unsupported join kind {kind}")
+
+
+def _exec_nested_apply(op: NestedApply, database: Database):
+    left_rows, left_columns = _execute(op.left, database)
+    right_rows, right_columns = _execute(op.right, database)
+    layout = layout_of(left_columns + right_columns)
+    predicate = (
+        (lambda row: True)
+        if op.predicate == TRUE
+        else compile_predicate(op.predicate, layout)
+    )
+    want_match = op.apply_kind is JoinKind.SEMI
+    out: Rows = []
+    for lrow in left_rows:
+        matched = any(predicate(lrow + rrow) for rrow in right_rows)
+        if matched == want_match:
+            out.append(lrow)
+    return out, left_columns
 
 
 def _exec_hash_join(op: HashJoin, database: Database):
@@ -461,6 +480,7 @@ _HANDLERS = {
     PhysOpKind.FILTER: _exec_filter,
     PhysOpKind.COMPUTE_SCALAR: _exec_compute_scalar,
     PhysOpKind.NESTED_LOOPS_JOIN: _exec_nested_loops,
+    PhysOpKind.NESTED_APPLY: _exec_nested_apply,
     PhysOpKind.HASH_JOIN: _exec_hash_join,
     PhysOpKind.MERGE_JOIN: _exec_merge_join,
     PhysOpKind.HASH_AGGREGATE: _exec_hash_aggregate,

@@ -189,6 +189,14 @@ class CardinalityEstimator:
             rows = max(rows, left.rows)
         return RelEstimate(rows=rows, ndv=combined.ndv).capped()
 
+    def _estimate_apply(self, op, children) -> RelEstimate:
+        """Apply estimates like the semi/anti join it unnests into, so the
+        cost difference between the nested and unnested forms comes from
+        the physical operators, not the cardinality model."""
+        left, _right = children
+        rows = left.rows * SEMI_JOIN_FRACTION
+        return RelEstimate(rows=rows, ndv=dict(left.ndv)).capped()
+
     def _estimate_gbagg(self, op: GbAgg, children) -> RelEstimate:
         (child,) = children
         if not op.group_by:
@@ -261,6 +269,7 @@ class CardinalityEstimator:
         OpKind.SELECT: _estimate_select,
         OpKind.PROJECT: _estimate_project,
         OpKind.JOIN: _estimate_join,
+        OpKind.APPLY: _estimate_apply,
         OpKind.GB_AGG: _estimate_gbagg,
         OpKind.UNION_ALL: _estimate_union_all,
         OpKind.UNION: _estimate_union,

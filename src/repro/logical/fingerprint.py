@@ -36,6 +36,7 @@ from repro.expr.expressions import (
     Not,
 )
 from repro.logical.operators import (
+    Apply,
     Except,
     GbAgg,
     Get,
@@ -162,6 +163,9 @@ def _emit_op(op: LogicalOp, writer: _Writer) -> None:
             _emit_expr(expr, writer)
     elif isinstance(op, Join):
         writer.text(op.join_kind.value)
+        _emit_expr(op.predicate, writer)
+    elif isinstance(op, Apply):
+        writer.text(op.apply_kind.value)
         _emit_expr(op.predicate, writer)
     elif isinstance(op, GbAgg):
         writer.text(op.phase)

@@ -41,6 +41,7 @@ class OpKind(enum.Enum):
     DISTINCT = "Distinct"
     SORT = "Sort"
     LIMIT = "Limit"
+    APPLY = "Apply"
 
 
 class JoinKind(enum.Enum):
@@ -232,6 +233,45 @@ class Join(LogicalOp):
 
     def describe(self) -> str:
         return f"Join[{self.join_kind.value}]({self.predicate})"
+
+
+@dataclass(frozen=True)
+class Apply(LogicalOp):
+    """A not-yet-unnested ``[NOT] EXISTS`` / ``IN`` subquery.
+
+    The binder produces Apply for every subquery predicate; the unnesting
+    rules (:mod:`repro.rules.exploration.subquery_rules`) rewrite it into
+    the equivalent semi/anti :class:`Join`.  ``apply_kind`` is restricted to
+    ``JoinKind.SEMI`` (EXISTS / IN) and ``JoinKind.ANTI`` (NOT EXISTS /
+    NOT IN); ``predicate`` carries the correlation condition, which may
+    reference columns of both sides (columns are globally id-bound, so no
+    capture is possible).  Output schema is the left side's columns --
+    identical to the matching semi/anti join.
+    """
+
+    apply_kind: JoinKind
+    left: object
+    right: object
+    predicate: Expr = TRUE
+
+    kind = OpKind.APPLY
+
+    def __post_init__(self) -> None:
+        if self.apply_kind not in (JoinKind.SEMI, JoinKind.ANTI):
+            raise ValueError(
+                f"Apply kind must be SEMI or ANTI, got {self.apply_kind}"
+            )
+
+    @property
+    def children(self) -> Tuple:
+        return (self.left, self.right)
+
+    def with_children(self, children: Tuple) -> "Apply":
+        left, right = children
+        return Apply(self.apply_kind, left, right, self.predicate)
+
+    def describe(self) -> str:
+        return f"Apply[{self.apply_kind.value}]({self.predicate})"
 
 
 @dataclass(frozen=True)

@@ -292,6 +292,22 @@ class PropertyDeriver:
             columns=columns, keys=_prune_keys(keys), non_null=non_null
         )
 
+    def _derive_apply(self, op, child_props) -> LogicalProps:
+        """Apply[SEMI/ANTI] derives exactly like the matching semi/anti
+        join: output is the left side, and only a SEMI apply's predicate
+        null-rejects surviving left columns."""
+        left, _right = child_props
+        if op.apply_kind is JoinKind.SEMI:
+            return LogicalProps(
+                columns=left.columns,
+                keys=left.keys,
+                non_null=left.non_null
+                | self._null_rejected(op.predicate, left),
+            )
+        return LogicalProps(
+            columns=left.columns, keys=left.keys, non_null=left.non_null
+        )
+
     def _derive_gbagg(self, op: GbAgg, child_props) -> LogicalProps:
         (child,) = child_props
         out_cols = op.output_columns
@@ -363,6 +379,7 @@ class PropertyDeriver:
         OpKind.SELECT: _derive_select,
         OpKind.PROJECT: _derive_project,
         OpKind.JOIN: _derive_join,
+        OpKind.APPLY: _derive_apply,
         OpKind.GB_AGG: _derive_gbagg,
         OpKind.UNION_ALL: _derive_setop,
         OpKind.UNION: _derive_setop,

@@ -14,6 +14,7 @@ from typing import FrozenSet, Tuple
 from repro.catalog.schema import Catalog
 from repro.expr.expressions import Column, Expr, referenced_columns
 from repro.logical.operators import (
+    Apply,
     GbAgg,
     Get,
     Join,
@@ -99,6 +100,18 @@ def validate_tree(op: LogicalOp, catalog: Catalog) -> Tuple[Column, ...]:
             outputs = left
         else:
             outputs = left + right
+
+    elif isinstance(op, Apply):
+        left, right = child_outputs
+        overlap = _ids(left) & _ids(right)
+        if overlap:
+            raise ValidationError(
+                f"Apply: inputs share column ids {sorted(overlap)}"
+            )
+        _check_refs(
+            op.predicate, _ids(left) | _ids(right), "Apply predicate"
+        )
+        outputs = left
 
     elif isinstance(op, GbAgg):
         (child,) = child_outputs

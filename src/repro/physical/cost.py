@@ -63,6 +63,17 @@ def local_cost(
             + (CPU_ROW + CPU_PREDICATE) * outer * inner
             + CPU_ROW * output_rows
         )
+    if kind is PhysOpKind.NESTED_APPLY:
+        outer, inner = child_rows
+        # A nested-loops join plus a per-outer-row restart of the inner
+        # side: strictly costlier than NESTED_LOOPS_JOIN on the same
+        # inputs, so the unnesting rules can win on cost.
+        return (
+            STARTUP
+            + (STARTUP + CPU_ROW) * outer
+            + (CPU_ROW + CPU_PREDICATE) * outer * inner
+            + CPU_ROW * output_rows
+        )
     if kind is PhysOpKind.HASH_JOIN:
         probe, build = child_rows
         return (

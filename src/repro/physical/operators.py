@@ -27,6 +27,7 @@ class PhysOpKind(enum.Enum):
     FILTER = "Filter"
     COMPUTE_SCALAR = "ComputeScalar"
     NESTED_LOOPS_JOIN = "NestedLoopsJoin"
+    NESTED_APPLY = "NestedApply"
     HASH_JOIN = "HashJoin"
     MERGE_JOIN = "MergeJoin"
     HASH_AGGREGATE = "HashAggregate"
@@ -202,6 +203,35 @@ class NestedLoopsJoin(PhysicalOp):
 
     def describe(self) -> str:
         return f"NestedLoopsJoin[{self.join_kind.value}]({self.predicate})"
+
+
+@dataclass(frozen=True)
+class NestedApply(PhysicalOp):
+    """Naive correlated-subquery execution: re-run the inner side per outer
+    row, emitting the outer row when a match exists (SEMI) or when none
+    does (ANTI).  Deliberately priced above an equivalent nested-loops
+    join, so unnesting an Apply measurably pays off."""
+
+    apply_kind: JoinKind
+    left: object
+    right: object
+    predicate: Expr = TRUE
+
+    kind = PhysOpKind.NESTED_APPLY
+
+    @property
+    def children(self) -> Tuple:
+        return (self.left, self.right)
+
+    def with_children(self, children: Tuple) -> "NestedApply":
+        left, right = children
+        return NestedApply(self.apply_kind, left, right, self.predicate)
+
+    def provided_ordering(self, child_orderings):
+        return child_orderings[0]  # preserves outer order
+
+    def describe(self) -> str:
+        return f"NestedApply[{self.apply_kind.value}]({self.predicate})"
 
 
 @dataclass(frozen=True)

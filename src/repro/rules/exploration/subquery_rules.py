@@ -1,0 +1,147 @@
+"""Exploration rules over Apply (subquery unnesting).
+
+The binder translates ``[NOT] EXISTS`` / ``[NOT] IN`` WHERE conjuncts into
+:class:`~repro.logical.operators.Apply` operators; these rules unnest them
+into the join algebra, where the full join/select rule library (and the
+cheaper physical join operators) become applicable.  The fallback
+``ApplyToNestedApply`` implementation rule keeps non-unnested Applies
+executable, so every rule here is a pure cost optimization -- exactly the
+setting the paper's RuleSet/Cost analyses need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.expr.expressions import conjunction
+from repro.logical.operators import (
+    Apply,
+    Distinct,
+    Join,
+    JoinKind,
+    LogicalOp,
+    OpKind,
+    Select,
+)
+from repro.logical.properties import equijoin_pairs, is_pure_equijoin
+from repro.rules.common import passthrough_project, references_only
+from repro.rules.framework import ANY, P, Rule, RuleContext
+
+
+class ApplyToSemiJoin(Rule):
+    """``Apply[semi](L, R, p) -> L SEMI-JOIN_p R``.
+
+    A semi Apply keeps each left row iff some right row satisfies the
+    correlation predicate -- which is the semi join's definition -- so the
+    rewrite is unconditional.
+    """
+
+    name = "ApplyToSemiJoin"
+    pattern = P(OpKind.APPLY, ANY, ANY, join_kinds=(JoinKind.SEMI,))
+
+    def substitute(self, binding: Apply, ctx: RuleContext) -> Iterable[LogicalOp]:
+        yield Join(
+            JoinKind.SEMI, binding.left, binding.right, binding.predicate
+        )
+
+
+class ApplyToAntiJoin(Rule):
+    """``Apply[anti](L, R, p) -> L ANTI-JOIN_p R`` (unconditional, dual of
+    :class:`ApplyToSemiJoin`)."""
+
+    name = "ApplyToAntiJoin"
+    pattern = P(OpKind.APPLY, ANY, ANY, join_kinds=(JoinKind.ANTI,))
+
+    def substitute(self, binding: Apply, ctx: RuleContext) -> Iterable[LogicalOp]:
+        yield Join(
+            JoinKind.ANTI, binding.left, binding.right, binding.predicate
+        )
+
+
+class ApplyDecorrelateSelect(Rule):
+    """``Apply[k](L, Select_q(R), p) -> Apply[k](L, R, p AND q)``.
+
+    A filter inside the subquery is just another condition a matching right
+    row must satisfy; merging it into the correlation predicate exposes the
+    bare right side to the unnesting and join rules.  Exact for both semi
+    and anti: the per-left-row match set is identical.
+    """
+
+    name = "ApplyDecorrelateSelect"
+    pattern = P(OpKind.APPLY, ANY, P(OpKind.SELECT, ANY))
+
+    def substitute(self, binding: Apply, ctx: RuleContext) -> Iterable[LogicalOp]:
+        inner: Select = binding.right
+        yield Apply(
+            binding.apply_kind,
+            binding.left,
+            inner.child,
+            conjunction([binding.predicate, inner.predicate]),
+        )
+
+
+class SelectPushIntoApplyLeft(Rule):
+    """``Select_q(Apply[k](L, R, p)) -> Apply[k](Select_q(L), R, p)``.
+
+    An Apply outputs exactly its left columns, so a filter above it can
+    always run below it; filtering first shrinks the outer loop of the
+    correlated execution (and the left input of the unnested join).
+    """
+
+    name = "SelectPushIntoApplyLeft"
+    pattern = P(OpKind.SELECT, P(OpKind.APPLY, ANY, ANY))
+    condition_note = "filter references only the Apply's (left) output"
+
+    def precondition(self, binding: Select, ctx: RuleContext) -> bool:
+        apply_op: Apply = binding.child
+        return references_only(
+            binding.predicate, ctx.column_ids(apply_op.left)
+        )
+
+    def substitute(self, binding: Select, ctx: RuleContext) -> Iterable[LogicalOp]:
+        apply_op: Apply = binding.child
+        yield Apply(
+            apply_op.apply_kind,
+            Select(apply_op.left, binding.predicate),
+            apply_op.right,
+            apply_op.predicate,
+        )
+
+
+class SemiJoinToDistinctInnerJoin(Rule):
+    """``L SEMI-JOIN R -> Project_L(L JOIN Distinct(Project_rcols(R)))`` for
+    pure equi-joins.
+
+    Deduplicating the *right* side on its join columns makes every left row
+    match at most one right row (the predicate pins each right join column
+    to the left row's value), so the inner join neither drops nor
+    duplicates left rows.  Unlike :class:`SemiJoinToJoinOnKey` this needs
+    no key on the right side -- the Distinct manufactures the uniqueness.
+    """
+
+    name = "SemiJoinToDistinctInnerJoin"
+    pattern = P(OpKind.JOIN, ANY, ANY, join_kinds=(JoinKind.SEMI,))
+    generation_hints = {"join_predicate": "fk_pk"}
+    condition_note = "pure equi-join (every conjunct a cross-side equality)"
+
+    def precondition(self, binding: Join, ctx: RuleContext) -> bool:
+        left_ids = ctx.column_ids(binding.left)
+        right_ids = ctx.column_ids(binding.right)
+        if not is_pure_equijoin(binding.predicate, left_ids, right_ids):
+            return False
+        return bool(equijoin_pairs(binding.predicate))
+
+    def substitute(self, binding: Join, ctx: RuleContext) -> Iterable[LogicalOp]:
+        right_ids = ctx.column_ids(binding.right)
+        right_cols = []
+        for a, b in equijoin_pairs(binding.predicate):
+            column = a if a.cid in right_ids else b
+            if column not in right_cols:
+                right_cols.append(column)
+        deduped = Distinct(
+            passthrough_project(binding.right, tuple(right_cols))
+        )
+        inner = Join(
+            JoinKind.INNER, binding.left, deduped, binding.predicate
+        )
+        yield passthrough_project(inner, ctx.columns(binding.left))

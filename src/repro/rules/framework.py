@@ -35,8 +35,8 @@ class PatternNode:
     """One node of a rule pattern.
 
     ``kind is None`` denotes a generic placeholder that matches any operator
-    subtree.  For ``JOIN`` patterns, ``join_kinds`` optionally restricts the
-    matching join kinds (``None`` means any).
+    subtree.  For ``JOIN`` and ``APPLY`` patterns, ``join_kinds`` optionally
+    restricts the matching join/apply kinds (``None`` means any).
     """
 
     kind: Optional[OpKind]
@@ -46,8 +46,13 @@ class PatternNode:
     def __post_init__(self) -> None:
         if self.kind is None and self.children:
             raise ValueError("generic pattern nodes cannot have children")
-        if self.join_kinds is not None and self.kind is not OpKind.JOIN:
-            raise ValueError("join_kinds only applies to JOIN patterns")
+        if self.join_kinds is not None and self.kind not in (
+            OpKind.JOIN,
+            OpKind.APPLY,
+        ):
+            raise ValueError(
+                "join_kinds only applies to JOIN and APPLY patterns"
+            )
 
     @property
     def is_generic(self) -> bool:
@@ -61,6 +66,8 @@ class PatternNode:
             return False
         if self.kind is OpKind.JOIN and self.join_kinds is not None:
             return op.join_kind in self.join_kinds
+        if self.kind is OpKind.APPLY and self.join_kinds is not None:
+            return op.apply_kind in self.join_kinds
         return True
 
     def size(self) -> int:

@@ -15,6 +15,7 @@ from typing import Iterable, List, Tuple
 
 from repro.expr.expressions import Column, conjunction
 from repro.logical.operators import (
+    Apply,
     Distinct,
     Except,
     GbAgg,
@@ -41,6 +42,7 @@ from repro.physical.operators import (
     HashJoin,
     HashUnion,
     MergeJoin,
+    NestedApply,
     NestedLoopsJoin,
     PhysicalOp,
     Sort as PhysicalSort,
@@ -90,6 +92,22 @@ class JoinToNestedLoops(ImplementationRule):
     def substitute(self, binding: Join, ctx: RuleContext) -> Iterable[PhysicalOp]:
         yield NestedLoopsJoin(
             binding.join_kind, binding.left, binding.right, binding.predicate
+        )
+
+
+class ApplyToNestedApply(ImplementationRule):
+    """Naive (non-unnested) subquery execution; always available, so an
+    Apply the exploration rules cannot unnest still has a plan -- it is
+    just priced above the unnested alternatives."""
+
+    name = "ApplyToNestedApply"
+    pattern = P(OpKind.APPLY, ANY, ANY)
+
+    def substitute(
+        self, binding: Apply, ctx: RuleContext
+    ) -> Iterable[PhysicalOp]:
+        yield NestedApply(
+            binding.apply_kind, binding.left, binding.right, binding.predicate
         )
 
 

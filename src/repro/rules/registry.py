@@ -1,6 +1,6 @@
 """The rule registry: the optimizer's full rule set.
 
-The default registry carries 35 logical exploration rules -- the paper's
+The default registry carries 40 logical exploration rules -- the paper's
 experiments use "a set of around 30 logical transformation rules ... that
 cover the most commonly used operators including selections, joins, outer
 joins, semi-joins, group-by etc." -- plus the implementation rules that make
@@ -59,6 +59,13 @@ from repro.rules.exploration.select_rules import (
     SelectSplit,
     SelectTrueRemoval,
 )
+from repro.rules.exploration.subquery_rules import (
+    ApplyDecorrelateSelect,
+    ApplyToAntiJoin,
+    ApplyToSemiJoin,
+    SelectPushIntoApplyLeft,
+    SemiJoinToDistinctInnerJoin,
+)
 from repro.rules.exploration.setop_rules import (
     ExceptToAntiJoin,
     IntersectToSemiJoin,
@@ -68,6 +75,7 @@ from repro.rules.exploration.setop_rules import (
 )
 from repro.rules.framework import Rule, pattern_to_xml
 from repro.rules.implementation.impl_rules import (
+    ApplyToNestedApply,
     DistinctToHashDistinct,
     ExceptToHashExcept,
     GbAggToHashAggregate,
@@ -127,6 +135,12 @@ DEFAULT_EXPLORATION_RULES = (
     # the benchmarks remain comparable across versions.
     AntiJoinToLojFilter,
     AvgToSumDivCount,
+    # Subquery unnesting (appended for the same prefix-stability reason).
+    ApplyToSemiJoin,
+    ApplyToAntiJoin,
+    ApplyDecorrelateSelect,
+    SelectPushIntoApplyLeft,
+    SemiJoinToDistinctInnerJoin,
 )
 
 DEFAULT_IMPLEMENTATION_RULES = (
@@ -136,6 +150,7 @@ DEFAULT_IMPLEMENTATION_RULES = (
     JoinToNestedLoops,
     JoinToHashJoin,
     JoinToMergeJoin,
+    ApplyToNestedApply,
     GbAggToHashAggregate,
     GbAggToStreamAggregate,
     UnionAllToConcat,
@@ -223,5 +238,5 @@ class RuleRegistry:
 
 
 def default_registry() -> RuleRegistry:
-    """The standard rule set (35 exploration + 15 implementation rules)."""
+    """The standard rule set (40 exploration + 16 implementation rules)."""
     return RuleRegistry()

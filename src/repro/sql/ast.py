@@ -85,6 +85,15 @@ class ExistsExpr(SqlNode):
     negated: bool
 
 
+@dataclass(frozen=True)
+class InExpr(SqlNode):
+    """``operand [NOT] IN (subquery)``."""
+
+    operand: SqlNode
+    query: "QueryExpr"
+    negated: bool
+
+
 # --------------------------------------------------------------- table refs
 
 

@@ -13,6 +13,7 @@ from typing import Dict, List, Set, Tuple
 from repro.catalog.schema import Catalog, DataType
 from repro.expr.aggregates import AggregateCall, AggregateFunction
 from repro.expr.expressions import (
+    TRUE,
     Arithmetic,
     ArithmeticOp,
     BoolConnective,
@@ -25,9 +26,12 @@ from repro.expr.expressions import (
     IsNull,
     Literal,
     Not,
+    conjunction,
     expression_type,
+    referenced_columns,
 )
 from repro.logical.operators import (
+    Apply,
     Distinct,
     Except,
     GbAgg,
@@ -178,16 +182,32 @@ class Binder:
     def _apply_where(
         self, where: ast.SqlNode, source: BoundRelation, op: LogicalOp
     ) -> LogicalOp:
-        if isinstance(where, ast.ExistsExpr):
-            return self._bind_exists(where, source, op)
-        predicate = self._bind_expr(where, source.scope)
-        return Select(op, predicate)
+        """Apply a WHERE clause: scalar conjuncts become one Select, each
+        top-level ``[NOT] EXISTS`` / ``[NOT] IN`` conjunct becomes an
+        :class:`Apply` stacked on top (the unnesting rules turn those into
+        semi/anti joins during optimization)."""
+        scalar: List[ast.SqlNode] = []
+        subqueries: List[ast.SqlNode] = []
+        for part in _ast_conjuncts(where):
+            if isinstance(part, (ast.ExistsExpr, ast.InExpr)):
+                subqueries.append(part)
+            else:
+                scalar.append(part)
+        if scalar:
+            bound = [self._bind_expr(part, source.scope) for part in scalar]
+            op = Select(op, conjunction(bound))
+        for part in subqueries:
+            if isinstance(part, ast.ExistsExpr):
+                op = self._bind_exists(part, source, op)
+            else:
+                op = self._bind_in(part, source, op)
+        return op
 
     def _bind_exists(
         self, exists: ast.ExistsExpr, source: BoundRelation, op: LogicalOp
     ) -> LogicalOp:
-        """Bind ``[NOT] EXISTS (SELECT 1 FROM <sub> WHERE cond)`` as a
-        semi/anti join (the inverse of the SQL generator's rendering)."""
+        """Bind ``[NOT] EXISTS (SELECT 1 FROM <sub> WHERE cond)`` as an
+        Apply (the inverse of the SQL generator's rendering)."""
         inner = exists.query
         if not isinstance(inner, ast.SelectBlock) or inner.table is None:
             raise BindError("unsupported EXISTS subquery shape")
@@ -198,8 +218,73 @@ class Binder:
             raise BindError("EXISTS subquery without correlation predicate")
         merged = source.scope.merged(sub.scope)
         condition = self._bind_expr(inner.where, merged)
+        right, predicate = self._split_subquery_condition(condition, sub)
         kind = JoinKind.ANTI if exists.negated else JoinKind.SEMI
-        return Join(kind, op, sub.op, condition)
+        return Apply(kind, op, right, predicate)
+
+    def _bind_in(
+        self, in_expr: ast.InExpr, source: BoundRelation, op: LogicalOp
+    ) -> LogicalOp:
+        """Bind ``x [NOT] IN (SELECT c FROM <sub> [WHERE ...])`` as an
+        Apply; NOT IN gets the NULL-aware anti-join predicate
+        ``x = c OR x IS NULL OR c IS NULL``."""
+        inner = in_expr.query
+        if not isinstance(inner, ast.SelectBlock) or inner.table is None:
+            raise BindError("unsupported IN subquery shape")
+        if inner.star or inner.group_by or inner.distinct:
+            raise BindError("unsupported IN subquery shape")
+        if len(inner.items) != 1:
+            raise BindError("IN subquery must select exactly one column")
+        sub = self._bind_table(inner.table)
+        operand = self._bind_expr(in_expr.operand, source.scope)
+        member = self._bind_expr(inner.items[0].expr, sub.scope)
+        comparison: Expr = Comparison(ComparisonOp.EQ, operand, member)
+        if in_expr.negated:
+            comparison = BoolExpr(
+                BoolConnective.OR,
+                (comparison, IsNull(operand), IsNull(member)),
+            )
+        right: LogicalOp = sub.op
+        parts: List[Expr] = [comparison]
+        if inner.where is not None:
+            merged = source.scope.merged(sub.scope)
+            condition = self._bind_expr(inner.where, merged)
+            right, correlated = self._split_subquery_condition(condition, sub)
+            if correlated != TRUE:
+                parts.append(correlated)
+        kind = JoinKind.ANTI if in_expr.negated else JoinKind.SEMI
+        return Apply(kind, op, right, conjunction(parts))
+
+    def _split_subquery_condition(
+        self, condition: Expr, sub: BoundRelation
+    ) -> Tuple[LogicalOp, Expr]:
+        """Split a bound subquery WHERE into (right child, apply predicate).
+
+        Conjuncts referencing only subquery columns become a Select inside
+        the right child -- giving the decorrelation rules a non-trivial
+        shape to push through -- while conjuncts referencing the outer side
+        stay in the Apply's correlation predicate.
+        """
+        sub_ids = {column.cid for column in sub.columns}
+        if (
+            isinstance(condition, BoolExpr)
+            and condition.op is BoolConnective.AND
+        ):
+            conjuncts = list(condition.args)
+        else:
+            conjuncts = [condition]
+        inner_parts: List[Expr] = []
+        outer_parts: List[Expr] = []
+        for part in conjuncts:
+            refs = {column.cid for column in referenced_columns(part)}
+            if refs and refs <= sub_ids:
+                inner_parts.append(part)
+            else:
+                outer_parts.append(part)
+        right: LogicalOp = sub.op
+        if inner_parts:
+            right = Select(right, conjunction(inner_parts))
+        return right, conjunction(outer_parts)
 
     def _bind_aggregation(
         self, block: ast.SelectBlock, source: BoundRelation, op: LogicalOp
@@ -357,9 +442,10 @@ class Binder:
             raise BindError(
                 "aggregate functions are only allowed in the select list"
             )
-        if isinstance(node, ast.ExistsExpr):
+        if isinstance(node, (ast.ExistsExpr, ast.InExpr)):
             raise BindError(
-                "EXISTS is only supported as the entire WHERE clause"
+                "subquery predicates are only supported as top-level "
+                "WHERE conjuncts"
             )
         raise BindError(f"unsupported expression {type(node).__name__}")
 
@@ -379,6 +465,13 @@ _ARITHMETIC_OPS = {
     "*": ArithmeticOp.MUL,
     "/": ArithmeticOp.DIV,
 }
+
+
+def _ast_conjuncts(node: ast.SqlNode) -> List[ast.SqlNode]:
+    """Top-level AND conjuncts of a WHERE clause AST."""
+    if isinstance(node, ast.BoolOp) and node.op == "AND":
+        return list(node.args)
+    return [node]
 
 
 def _contains_func(node: ast.SqlNode) -> bool:

@@ -36,6 +36,7 @@ from repro.expr.expressions import (
     Not,
 )
 from repro.logical.operators import (
+    Apply,
     Distinct,
     GbAgg,
     Get,
@@ -86,6 +87,8 @@ class SqlGenerator:
             return self._render_project(op)
         if isinstance(op, Join):
             return self._render_join(op)
+        if isinstance(op, Apply):
+            return self._render_apply(op)
         if isinstance(op, GbAgg):
             return self._render_gbagg(op)
         if is_set_op(op):
@@ -173,6 +176,23 @@ class SqlGenerator:
         scope = {**left_scope, **right_scope}
         condition = render_expr(op.predicate, scope, self.dialect)
         negation = "NOT " if op.join_kind is JoinKind.ANTI else ""
+        select_list = ", ".join(left_scope.values())
+        return (
+            f"SELECT {select_list} FROM {left_item} WHERE {negation}EXISTS "
+            f"(SELECT 1 FROM {right_item} WHERE {condition})",
+            left_scope,
+        )
+
+    def _render_apply(self, op: Apply) -> Tuple[str, Scope]:
+        """An Apply renders exactly like the semi/anti join it unnests
+        into: ``[NOT] EXISTS`` over the right side, correlated through the
+        predicate.  External backends therefore run subquery suites without
+        knowing about the operator."""
+        left_item, left_scope, _ = self._derived(op.left)
+        right_item, right_scope, _ = self._derived(op.right)
+        scope = {**left_scope, **right_scope}
+        condition = render_expr(op.predicate, scope, self.dialect)
+        negation = "NOT " if op.apply_kind is JoinKind.ANTI else ""
         select_list = ", ".join(left_scope.values())
         return (
             f"SELECT {select_list} FROM {left_item} WHERE {negation}EXISTS "

@@ -21,7 +21,7 @@ KEYWORDS = {
     "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT",
     "AS", "JOIN", "INNER", "LEFT", "OUTER", "CROSS", "ON", "UNION", "ALL",
     "INTERSECT", "EXCEPT", "AND", "OR", "NOT", "IS", "NULL", "TRUE", "FALSE",
-    "EXISTS", "ASC", "DESC", "COUNT", "SUM", "MIN", "MAX", "AVG",
+    "EXISTS", "IN", "ASC", "DESC", "COUNT", "SUM", "MIN", "MAX", "AVG",
 }
 
 _OPERATORS = ("<>", "<=", ">=", "=", "<", ">", "+", "-", "*", "/")

@@ -11,6 +11,7 @@ from repro.sql.ast import (
     DerivedTable,
     ExistsExpr,
     FuncCall,
+    InExpr,
     IsNullOp,
     JoinedTable,
     NameRef,
@@ -274,7 +275,20 @@ class Parser:
             negated = self._accept_keyword("NOT")
             self._expect_keyword("NULL")
             return IsNullOp(left, negated)
+        if token.is_keyword("IN"):
+            self._advance()
+            return self._in_subquery(left, negated=False)
+        if token.is_keyword("NOT"):
+            self._advance()
+            self._expect_keyword("IN")
+            return self._in_subquery(left, negated=True)
         return left
+
+    def _in_subquery(self, operand: SqlNode, negated: bool) -> InExpr:
+        self._expect_punct("(")
+        query = self._query_expr()
+        self._expect_punct(")")
+        return InExpr(operand, query, negated)
 
     def _additive(self) -> SqlNode:
         left = self._multiplicative()

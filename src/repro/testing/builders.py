@@ -31,6 +31,7 @@ from repro.expr.expressions import (
     conjunction,
 )
 from repro.logical.operators import (
+    Apply,
     Distinct,
     Except,
     GbAgg,
@@ -315,6 +316,27 @@ class TreeBuilder:
                 f"no join predicate available for {kind.value} join"
             )
         return Join(kind, left, right, predicate)
+
+    def make_apply(
+        self,
+        left: LogicalOp,
+        right: LogicalOp,
+        kind: JoinKind,
+        predicate: Optional[Expr] = None,
+    ) -> Apply:
+        """A SEMI/ANTI Apply over two subtrees.
+
+        The correlation predicate must reference both sides (otherwise the
+        subquery is uncorrelated and the operator degenerates); the shared
+        :meth:`join_predicate` machinery provides exactly that shape.
+        """
+        if predicate is None:
+            predicate = self.join_predicate(left, right)
+        if predicate is None:
+            raise GenerationFailure(
+                f"no correlation predicate available for {kind.value} apply"
+            )
+        return Apply(kind, left, right, predicate)
 
     # ------------------------------------------------------------ aggregation
 

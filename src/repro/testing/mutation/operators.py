@@ -38,6 +38,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.expr.aggregates import AggregateCall, AggregateFunction
 from repro.expr.expressions import TRUE, conjuncts, conjunction, referenced_columns
 from repro.logical.operators import (
+    Apply,
     Distinct,
     GbAgg,
     Join,
@@ -111,6 +112,10 @@ def _drop_last_conjunct(node):
         parts = conjuncts(node.predicate)
         remaining = conjunction(parts[:-1]) if len(parts) >= 2 else TRUE
         return Join(node.join_kind, node.left, node.right, remaining)
+    if isinstance(node, Apply) and node.predicate != TRUE:
+        parts = conjuncts(node.predicate)
+        remaining = conjunction(parts[:-1]) if len(parts) >= 2 else TRUE
+        return Apply(node.apply_kind, node.left, node.right, remaining)
     return None
 
 
@@ -266,16 +271,23 @@ class DropPrecondition(MutationOperator):
         ]
 
 
-#: Kinds a join pattern gets widened with (one mutant per addition).
-_WIDEN_ADDITIONS = (JoinKind.INNER, JoinKind.LEFT_OUTER)
+#: Kinds a pattern slot gets widened with (one mutant per addition), by
+#: operator kind.  Apply only admits SEMI/ANTI, so an Apply slot is widened
+#: with the opposite correlation kind (e.g. the semi-only unnesting rule
+#: also firing on anti Applies -- the classic NOT EXISTS mix-up).
+_WIDEN_ADDITIONS_BY_KIND = {
+    OpKind.JOIN: (JoinKind.INNER, JoinKind.LEFT_OUTER),
+    OpKind.APPLY: (JoinKind.SEMI, JoinKind.ANTI),
+}
 
 
 def _join_pattern_slots(pattern: PatternNode) -> List[PatternNode]:
-    """Pre-order list of JOIN pattern nodes with an explicit kind list."""
+    """Pre-order list of JOIN/APPLY pattern nodes with an explicit kind
+    list."""
     slots = []
 
     def visit(node: PatternNode):
-        if node.kind is OpKind.JOIN and node.join_kinds is not None:
+        if node.kind in _WIDEN_ADDITIONS_BY_KIND and node.join_kinds is not None:
             slots.append(node)
         for child in node.children:
             visit(child)
@@ -291,7 +303,7 @@ def _widen_pattern(
 
     def rebuild(node: PatternNode) -> PatternNode:
         join_kinds = node.join_kinds
-        if node.kind is OpKind.JOIN and join_kinds is not None:
+        if node.kind in _WIDEN_ADDITIONS_BY_KIND and join_kinds is not None:
             if counter["seen"] == slot_index:
                 join_kinds = join_kinds + (added,)
             counter["seen"] += 1
@@ -306,12 +318,12 @@ def _widen_pattern(
 
 class WidenJoinKind(MutationOperator):
     name = "widen-join-kind"
-    description = "let a join pattern node match one extra JoinKind"
+    description = "let a join/apply pattern node match one extra JoinKind"
 
     def mutants_for(self, rule: Rule) -> List[Mutant]:
         mutants = []
         for index, slot in enumerate(_join_pattern_slots(rule.pattern)):
-            for added in _WIDEN_ADDITIONS:
+            for added in _WIDEN_ADDITIONS_BY_KIND[slot.kind]:
                 if added in slot.join_kinds:
                     continue
                 widened = _widen_pattern(rule.pattern, index, added)
@@ -612,15 +624,15 @@ EXPECTATION_OVERRIDES: Dict[str, str] = {
     ),
     # -- widenings whose substitute is strictly dominated: it wraps the
     #    binding's own join in an extra projection, so it can never be
-    #    cheaper than the unwrapped join already in the group.
+    #    cheaper than the unwrapped join already in the group.  (The
+    #    left-outer widening used to sit here too, until the seed-1 pool
+    #    of the calibrated campaign CRASHED it -- the substitute reads
+    #    columns an outer join no longer guarantees -- proving the
+    #    "never selected" half of its note wrong.  Stale notes die.)
     "SemiJoinToJoinOnKey:widen-join-kind:j0+inner": (
         "on an inner-join binding the substitute is the same join plus "
         "a projection -- strictly dominated by the join itself, never "
         "selected"
-    ),
-    "SemiJoinToJoinOnKey:widen-join-kind:j0+left-outer": (
-        "as for the inner widening: the substitute wraps the binding's "
-        "own join in an extra projection and is strictly dominated"
     ),
     # -- duplicate-sensitive mutations that generated inputs cannot expose:
     #    the set-op rewrites only mis-handle duplicates, and the pattern
@@ -636,6 +648,31 @@ EXPECTATION_OVERRIDES: Dict[str, str] = {
         "narrowing projection; harmless on the duplicate-free "
         "key-preserving inputs the generator produces (same mechanism "
         "as the drop-distinct survivor)"
+    ),
+    # -- subquery-unnesting mutants the oracle cannot flag (validated by
+    #    running the campaign over the Apply rule family, seeds 0-1).
+    "ApplyToAntiJoin:widen-join-kind:j0+semi": (
+        "the wrong ANTI join lands in the semi Apply's group, whose "
+        "row estimate (and hence cost) matches the correct SEMI "
+        "alternative inserted first by ApplyToSemiJoin; the tie is "
+        "never broken in the mutant's favor, so the anti plan is "
+        "never extracted"
+    ),
+    "SelectPushIntoApplyLeft:drop-precondition": (
+        "guard-only in well-formed trees: an Apply outputs exactly its "
+        "left columns, so a Select above it can only reference those "
+        "and the dropped references_only check is vacuously satisfied"
+    ),
+    "SemiJoinToDistinctInnerJoin:drop-precondition": (
+        "pattern generation instantiates the semi join on an FK->PK "
+        "pair (hint 'fk_pk'), a pure equijoin, so the dropped "
+        "equijoin guard is vacuously satisfied on every generated "
+        "query (same mechanism as SemiJoinToJoinOnKey)"
+    ),
+    "SemiJoinToDistinctInnerJoin:drop-distinct": (
+        "the fk_pk-hinted right side is a key-preserving scan already "
+        "unique on its join column, so the dropped Distinct never "
+        "changes the bag (mirror of IntersectToSemiJoin:drop-distinct)"
     ),
 }
 

@@ -120,6 +120,9 @@ class PatternInstantiator:
         if kind is OpKind.JOIN:
             left, right = children
             return self._make_join(pattern, left, right, hints)
+        if kind is OpKind.APPLY:
+            left, right = children
+            return self._make_apply(pattern, left, right, hints)
         if kind is OpKind.GB_AGG:
             (child,) = children
             return self._make_gbagg(child, hints)
@@ -217,6 +220,30 @@ class PatternInstantiator:
                 left, right, right_columns=preserved
             )
         return self.builder.make_join(left, right, kind, predicate)
+
+    def _make_apply(
+        self,
+        pattern: PatternNode,
+        left: LogicalOp,
+        right: LogicalOp,
+        hints: Hints,
+    ) -> LogicalOp:
+        kinds = pattern.join_kinds or (JoinKind.SEMI, JoinKind.ANTI)
+        kind = self.rng.choice(list(kinds))
+        predicate = None
+        hint = self._pick_hint(hints, "join_predicate", lambda _v: True)
+        if hint == "fk_pk":
+            predicate = self.builder.join_predicate(
+                left, right, require_fk_pk=True
+            )
+            if predicate is None:
+                right = self._fk_target_leaf(left) or right
+                predicate = self.builder.join_predicate(
+                    left, right, require_fk_pk=True
+                )
+            if predicate is None:
+                raise GenerationFailure("no FK->key apply predicate available")
+        return self.builder.make_apply(left, right, kind, predicate)
 
     def _fk_target_leaf(self, left: LogicalOp):
         """A fresh Get over a table that some left-side table references."""

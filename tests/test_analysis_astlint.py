@@ -105,7 +105,7 @@ class TestCleanRegistry:
     def test_no_findings_on_default_registry(self):
         report = AstLinter(default_registry()).run()
         assert not report.diagnostics
-        assert report.counters["rules_ast_linted"] == 50
+        assert report.counters["rules_ast_linted"] == 56
 
     def test_clean_rule_passes(self):
         assert _lint(_CleanRule()) == []

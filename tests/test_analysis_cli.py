@@ -15,8 +15,8 @@ class TestAnalyzeCommand:
         assert main(["analyze", "--seeds", "3"]) == 0
         out = capsys.readouterr().out
         assert "0 error(s)" in out
-        assert "rules_linted=50" in out
-        assert "rules_verified=50" in out
+        assert "rules_linted=56" in out
+        assert "rules_verified=56" in out
 
     def test_injected_fault_exits_nonzero(self, capsys):
         code = main(
@@ -36,7 +36,7 @@ class TestAnalyzeCommand:
         assert main(["analyze", "--seeds", "2", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["errors"] == 0
-        assert payload["counters"]["rules_verified"] == 50
+        assert payload["counters"]["rules_verified"] == 56
 
     def test_fail_on_warning_threshold(self, capsys):
         # The clean registry has zero warnings too, so even the stricter
@@ -54,7 +54,7 @@ class TestAnalyzeCommand:
         assert main(["analyze", "--skip-verify", "--seeds", "2"]) == 0
         out = capsys.readouterr().out
         assert "rules_verified" not in out
-        assert "rules_linted=50" in out
+        assert "rules_linted=56" in out
 
 
 class TestDocsCheckMode:

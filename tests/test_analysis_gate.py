@@ -73,7 +73,7 @@ class TestFaultRejection:
 class TestSeedRegistryAdmission:
     def test_every_seed_rule_admitted_statically(self, gate):
         verdicts = gate.check_all(static_only=True)
-        assert len(verdicts) == 35
+        assert len(verdicts) == 40
         rejected = [v.rule_name for v in verdicts if not v.admitted]
         assert not rejected
 
@@ -119,9 +119,10 @@ class TestGateVsMutants:
         """Cross-check against the mutation corpus: the static passes
         alone must flag a non-trivial fraction of generated mutants.
 
-        The exact count is pinned so EXPERIMENTS.md stays honest: 11/25
-        (0.44) on the deterministic stride sample, vs the 0.92 kill rate
-        of the full dynamic campaign.
+        The exact count is pinned so EXPERIMENTS.md stays honest: 8/25
+        (0.32) on the deterministic stride sample (stride 4 over the
+        111-mutant corpus), vs the 0.92 kill rate of the full dynamic
+        campaign.
         """
         mutants = generate_mutants(default_registry())
         stride = max(1, len(mutants) // SAMPLE_SIZE)
@@ -137,7 +138,7 @@ class TestGateVsMutants:
         assert 0.3 <= fraction < 1.0, flagged
         # Pin the recorded number (see EXPERIMENTS.md, "Static gate vs
         # mutant corpus"): a behavior change here must update the docs.
-        assert len(flagged) == 11
+        assert len(flagged) == 8
 
 
 class TestGateCli:

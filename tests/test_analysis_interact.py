@@ -44,7 +44,7 @@ class TestGraphStructure:
     def test_covers_every_exploration_rule(self, graph):
         expected = [r.name for r in default_registry().exploration_rules]
         assert graph.rules == expected
-        assert len(graph.rules) == 35
+        assert len(graph.rules) == 40
 
     def test_edges_are_sorted_and_typed(self, graph):
         pairs = [(e.producer, e.consumer) for e in graph.edges]
@@ -148,7 +148,7 @@ class TestFindings:
         assert not report.warnings
 
     def test_counters(self, report, graph):
-        assert report.counters["interaction_rules"] == 35
+        assert report.counters["interaction_rules"] == 40
         assert report.counters["interaction_edges"] == len(graph.edges)
         assert report.counters["interaction_edges_confirmed"] == len(
             graph.confirmed_edges

@@ -211,8 +211,11 @@ def test_differential_oracle_folds_into_the_verdicts(tpch_db, registry):
 # --------------------------------------------------- hand-written faults
 
 #: The multi-seed pool that reliably exposes all four injected faults
-#: (detection is seed-dependent; see docs/TESTING.md).
-_KILL_SEEDS = (11, 23, 37)
+#: (detection is seed-dependent; see docs/TESTING.md).  Seed 1 joined
+#: the calibration with the subquery-unnesting rules: the
+#: SemiJoinToDistinctInnerJoin widenings survive the original three
+#: seeds' pools but die (one bag mismatch, one crash) on seed 1's.
+_KILL_SEEDS = (11, 23, 37, 1)
 
 
 @pytest.mark.parametrize("rule_name", sorted(ALL_FAULTS))

@@ -1,0 +1,84 @@
+"""Deterministic regression pin for ROADMAP item 5's non-monotonicity.
+
+Hypothesis (``tests/test_property_based.py::TestRuleCorrectnessProperty::
+test_disabling_rules_never_changes_results``) found a real counterexample
+to the well-behavedness property ``Cost(q) <= Cost(q, not R)``: on the
+seed-1 TPC-H database, the ``RandomQueryGenerator(seed=1448)`` tree
+optimized with ``{AvgToSumDivCount, JoinPredicateToSelect}`` disabled is
+*cheaper* (10.319279) than the full-registry plan (10.343600) while the
+result bags stay identical -- the restricted exploration reaches a
+fixpoint the full search misses.
+
+Hypothesis only rediscovers this when it happens to draw seed 1448; this
+file pins the exact reproduction so the failure is deterministic, and
+marks the monotonicity half ``xfail(strict=True)`` so the root-cause fix
+(likely memo exploration order/dedup, see ROADMAP item 5) is detected
+the moment it lands: the xfail will XPASS and fail the suite, telling
+the fixer to delete the marker and promote the assertion.
+"""
+
+import pytest
+
+from repro.engine import execute_plan, results_identical
+from repro.logical.validate import validate_tree
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.engine import Optimizer
+from repro.rules.registry import default_registry
+from repro.testing.random_gen import RandomQueryGenerator
+from repro.workloads import tpch_database
+
+SEED = 1448
+DISABLED = frozenset({"AvgToSumDivCount", "JoinPredicateToSelect"})
+
+REGISTRY = default_registry()
+DB = tpch_database(seed=1)
+STATS = DB.stats_repository()
+
+
+@pytest.fixture(scope="module")
+def optimized_pair():
+    generator = RandomQueryGenerator(
+        DB.catalog, seed=SEED, stats=STATS, min_operators=3, max_operators=7
+    )
+    tree = generator.random_tree()
+    validate_tree(tree, DB.catalog)
+
+    def optimize(disabled=frozenset()):
+        config = OptimizerConfig(disabled_rules=disabled)
+        return Optimizer(DB.catalog, STATS, REGISTRY, config).optimize(tree)
+
+    return optimize(), optimize(DISABLED)
+
+
+class TestSeed1448Counterexample:
+    def test_results_stay_identical(self, optimized_pair):
+        """The *correctness* half of the property holds: disabling the two
+        rules changes the plan but never the result bag."""
+        baseline, restricted = optimized_pair
+        expected = execute_plan(baseline.plan, DB, baseline.output_columns)
+        actual = execute_plan(
+            restricted.plan, DB, restricted.output_columns
+        )
+        assert results_identical(expected, actual)
+
+    @pytest.mark.xfail(
+        strict=True,
+        reason=(
+            "known optimizer non-monotonicity (ROADMAP item 5): the "
+            "restricted search reaches a cheaper fixpoint (10.319279 < "
+            "10.343600); remove this marker when the root cause is fixed"
+        ),
+    )
+    def test_cost_monotonicity(self, optimized_pair):
+        """The *well-behavedness* half -- ``Cost(q) <= Cost(q, not R)`` --
+        is the known violation this file exists to pin."""
+        baseline, restricted = optimized_pair
+        assert baseline.cost <= restricted.cost + 1e-9
+
+    def test_counterexample_magnitude_is_stable(self, optimized_pair):
+        """Pin the exact costs: if either side moves, the search behavior
+        changed and ROADMAP item 5 needs re-triage (the xfail above would
+        go stale silently otherwise)."""
+        baseline, restricted = optimized_pair
+        assert baseline.cost == pytest.approx(10.343600, abs=1e-6)
+        assert restricted.cost == pytest.approx(10.319279, abs=1e-6)

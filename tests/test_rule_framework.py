@@ -98,8 +98,8 @@ class TestXmlExport:
 class TestRegistry:
     def test_default_counts(self):
         registry = default_registry()
-        assert len(registry.exploration_rules) == 35
-        assert len(registry.implementation_rules) == 15
+        assert len(registry.exploration_rules) == 40
+        assert len(registry.implementation_rules) == 16
 
     def test_rules_have_unique_names(self):
         registry = default_registry()
@@ -124,7 +124,7 @@ class TestRegistry:
             ["JoinCommutativity", "SelectMerge"]
         )
         assert len(subset.exploration_rules) == 2
-        assert len(subset.implementation_rules) == 15
+        assert len(subset.implementation_rules) == 16
 
     def test_subset_rejects_implementation_rule(self):
         registry = default_registry()

@@ -25,6 +25,7 @@ from repro.expr.expressions import (
     Literal,
 )
 from repro.logical.operators import (
+    Apply,
     Distinct,
     Except,
     GbAgg,
@@ -595,6 +596,87 @@ class TestMiscRules:
         ) in result.rule_interactions or (
             "GbAggEagerBelowJoin" in result.rules_exercised
         )
+
+
+class TestSubqueryRules:
+    """The Apply unnesting family (EXISTS/IN subquery support)."""
+
+    def test_apply_to_semi_join(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        apply_op = Apply(
+            JoinKind.SEMI, emp, dept, _eq(emp.columns[1], dept.columns[0])
+        )
+        result = assert_rule_correct(tiny_db, apply_op, "ApplyToSemiJoin")
+        # Employees 1, 2, 3, 5, 6 have a department; 4's is NULL.
+        assert {row[0] for row in result.rows} == {1, 2, 3, 5, 6}
+
+    def test_apply_to_anti_join(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        apply_op = Apply(
+            JoinKind.ANTI, emp, dept, _eq(emp.columns[1], dept.columns[0])
+        )
+        result = assert_rule_correct(tiny_db, apply_op, "ApplyToAntiJoin")
+        assert {row[0] for row in result.rows} == {4}
+
+    def test_semi_rule_skips_anti_apply(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        apply_op = Apply(
+            JoinKind.ANTI, emp, dept, _eq(emp.columns[1], dept.columns[0])
+        )
+        assert_not_exercised(tiny_db, apply_op, "ApplyToSemiJoin")
+
+    def test_apply_decorrelate_select(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        rich = Select(dept, _gt(dept.columns[2], 40.0))
+        apply_op = Apply(
+            JoinKind.SEMI, emp, rich, _eq(emp.columns[1], dept.columns[0])
+        )
+        result = assert_rule_correct(
+            tiny_db, apply_op, "ApplyDecorrelateSelect"
+        )
+        # Only depts 10 (100.0) and 20 (50.0) have budget > 40; dept 30's
+        # budget is NULL, so employee 5 drops out.
+        assert {row[0] for row in result.rows} == {1, 2, 3, 6}
+
+    def test_select_push_into_apply_left(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        apply_op = Apply(
+            JoinKind.SEMI, emp, dept, _eq(emp.columns[1], dept.columns[0])
+        )
+        tree = Select(apply_op, _gt(emp.columns[2], 90.0))
+        result = assert_rule_correct(
+            tiny_db, tree, "SelectPushIntoApplyLeft"
+        )
+        assert {row[0] for row in result.rows} == {1, 3, 6}
+
+    def test_semi_join_to_distinct_inner_join(self, tiny_db):
+        # emp semi-join emp2 on a NON-unique right column: the key-based
+        # rewrite (SemiJoinToJoinOnKey) cannot fire, the Distinct-based
+        # one can -- and must not duplicate left rows despite dept 10/20
+        # appearing in several right rows.
+        emp, emp2 = _gets(tiny_db, "emp", "emp:e2")
+        semi = Join(
+            JoinKind.SEMI, emp, emp2, _eq(emp.columns[1], emp2.columns[1])
+        )
+        result = assert_rule_correct(
+            tiny_db, semi, "SemiJoinToDistinctInnerJoin"
+        )
+        assert result.row_count == 5  # each matching employee exactly once
+        assert {row[0] for row in result.rows} == {1, 2, 3, 5, 6}
+
+    def test_distinct_rewrite_needs_pure_equijoin(self, tiny_db):
+        emp, dept = _gets(tiny_db, "emp", "dept")
+        semi = Join(
+            JoinKind.SEMI,
+            emp,
+            dept,
+            Comparison(
+                ComparisonOp.GT,
+                ColumnRef(emp.columns[2]),
+                ColumnRef(dept.columns[2]),
+            ),
+        )
+        assert_not_exercised(tiny_db, semi, "SemiJoinToDistinctInnerJoin")
 
 
 class TestAllRulesHaveTargetedCoverage:
