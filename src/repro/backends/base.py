@@ -238,3 +238,14 @@ class Backend(abc.ABC):
                 # A missing plan is informational, not a verdict change.
                 run.plan = None
         return run
+
+    def run_many(
+        self, requests: Sequence[Tuple[int, LogicalOp]]
+    ) -> List[BackendRun]:
+        """Batch form of :meth:`run`; one :class:`BackendRun` per request.
+
+        The default runs serially; backends with a batched execution
+        path (the in-process engine) override it to share scans and
+        coalesce identical plans while producing byte-identical runs.
+        """
+        return [self.run(query_id, tree) for query_id, tree in requests]

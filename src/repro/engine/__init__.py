@@ -1,6 +1,19 @@
 """Plan execution and result comparison."""
 
-from repro.engine.executor import ExecutionError, execute_plan
+from repro.engine.batch import BatchItem, execute_many
+from repro.engine.config import (
+    COLUMNAR,
+    ITERATOR,
+    DEFAULT_EXECUTION,
+    ExecutionConfig,
+    default_execution_config,
+)
+from repro.engine.digest import BagDigest, digest_rows
+from repro.engine.executor import (
+    ExecutionError,
+    execute_plan,
+    execute_plan_iterator,
+)
 from repro.engine.explain import explain, explain_analyze, plan_summary
 from repro.engine.results import (
     QueryResult,
@@ -11,12 +24,22 @@ from repro.engine.results import (
 )
 
 __all__ = [
+    "BagDigest",
+    "BatchItem",
+    "COLUMNAR",
+    "DEFAULT_EXECUTION",
+    "ExecutionConfig",
     "ExecutionError",
+    "ITERATOR",
     "QueryResult",
     "canonical_row",
     "canonical_value",
+    "default_execution_config",
     "diff_summary",
+    "digest_rows",
+    "execute_many",
     "execute_plan",
+    "execute_plan_iterator",
     "explain",
     "explain_analyze",
     "plan_summary",

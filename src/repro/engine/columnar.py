@@ -1,0 +1,760 @@
+"""The columnar (vectorized) executor for physical plans.
+
+Intermediate results are :class:`Batch`es — struct-of-arrays with one
+Python list per column — instead of lists of row tuples.  Expressions are
+compiled once per operator into column-wise evaluators
+(:mod:`repro.expr.vector`), so the per-row interpreter dispatch of the
+iterator executor collapses into list comprehensions and bulk list ops.
+
+Semantics contract: every handler reproduces the iterator executor's
+result *exactly*, including row order.  Order matters even though SQL
+results are bags because ``Top`` above an unsorted child makes the
+child's physical order observable in the final result; the executor
+differential suite (and the optional self-check mode) compares the two
+executors on canonical bags, and keeping the order identical makes the
+columnar path a drop-in replacement everywhere, byte-for-byte.
+
+Table scans read :meth:`StoredTable.column_data`, a per-table columnar
+snapshot cached until the next insert — so every plan executed against a
+database shares one scan materialization per table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.results import QueryResult
+from repro.expr.aggregates import Accumulator, AggregateFunction
+from repro.expr.eval import layout_of
+from repro.expr.expressions import TRUE, Column
+from repro.expr.vector import compile_expr_vector, compile_selection_vector
+from repro.logical.operators import JoinKind
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.physical.operators import (
+    ComputeScalar,
+    Concat,
+    Filter,
+    HashAggregate,
+    HashDistinct,
+    HashExcept,
+    HashIntersect,
+    HashJoin,
+    HashUnion,
+    MergeJoin,
+    NestedApply,
+    NestedLoopsJoin,
+    PhysicalOp,
+    PhysOpKind,
+    Sort,
+    StreamAggregate,
+    TableScan,
+    Top,
+)
+from repro.storage.database import Database
+
+Columns = Tuple[Column, ...]
+
+
+class Batch:
+    """A struct-of-arrays result chunk: one Python list per column.
+
+    Column lists are shared freely between operators (a ``Filter`` that
+    keeps everything passes its input columns through untouched), so they
+    are immutable by convention — handlers build new lists, never mutate.
+    """
+
+    __slots__ = ("columns", "data", "length")
+
+    def __init__(self, columns: Columns, data: List[list], length: int):
+        self.columns = columns
+        self.data = data
+        self.length = length
+
+    def row_views(self) -> List[Tuple]:
+        """Materialize row tuples (used by hash-based row operators)."""
+        if not self.data:
+            return [()] * self.length
+        return list(zip(*self.data))
+
+
+class _Context:
+    __slots__ = ("database", "tracer", "metrics")
+
+    def __init__(self, database: Database, tracer: Tracer, metrics):
+        self.database = database
+        self.tracer = tracer
+        self.metrics = metrics
+
+
+def execute_columnar(
+    plan: PhysicalOp,
+    database: Database,
+    output_columns: Optional[Columns] = None,
+    *,
+    tracer: Tracer = NULL_TRACER,
+    metrics=None,
+) -> QueryResult:
+    """Execute ``plan`` on the columnar path; mirrors ``execute_plan``."""
+    ctx = _Context(database, tracer, metrics)
+    batch = _execute_batch(plan, ctx)
+    if output_columns is not None:
+        layout = layout_of(batch.columns)
+        try:
+            positions = [layout[c.cid] for c in output_columns]
+        except KeyError as exc:
+            # Same error type/message as QueryResult.projected on the
+            # iterator path.
+            raise ValueError(f"column not in result: {exc}") from None
+        batch = Batch(
+            tuple(output_columns),
+            [batch.data[p] for p in positions],
+            batch.length,
+        )
+    return QueryResult(columns=batch.columns, rows=batch.row_views())
+
+
+def _execute_batch(op: PhysicalOp, ctx: _Context) -> Batch:
+    from repro.engine.executor import ExecutionError
+
+    handler = _HANDLERS.get(op.kind)
+    if handler is None:
+        raise ExecutionError(f"no columnar executor for {op.kind}")
+    inputs = [_execute_batch(child, ctx) for child in op.children]
+    tracer = ctx.tracer
+    if not tracer.enabled:
+        return handler(op, inputs, ctx)
+    with tracer.span(
+        "exec.operator",
+        cat="exec",
+        op=op.kind.name,
+        rows_in=sum(b.length for b in inputs),
+        batches=max(1, len(inputs)),
+    ) as span:
+        batch = handler(op, inputs, ctx)
+        span.annotate(rows_out=batch.length)
+    return batch
+
+
+def _take(column: list, indices: List[int]) -> list:
+    return [column[i] for i in indices]
+
+
+def _take_padded(column: list, indices: List[int]) -> list:
+    """Gather where index -1 means a NULL-extended (padded) slot."""
+    return [None if i < 0 else column[i] for i in indices]
+
+
+# ------------------------------------------------------------------- leaves
+
+
+def _exec_table_scan(op: TableScan, inputs, ctx: _Context) -> Batch:
+    table = ctx.database.table(op.table)
+    if ctx.metrics is not None and table.has_column_cache:
+        ctx.metrics.counter("exec.scan_cache_hits").inc()
+    return Batch(op.columns, table.column_data(), len(table))
+
+
+# ------------------------------------------------------------------ unary
+
+
+def _exec_filter(op: Filter, inputs, ctx) -> Batch:
+    (child,) = inputs
+    select = compile_selection_vector(op.predicate, layout_of(child.columns))
+    sel = select(child.data, child.length)
+    if len(sel) == child.length:
+        return child
+    return Batch(child.columns, [_take(c, sel) for c in child.data], len(sel))
+
+
+def _exec_compute_scalar(op: ComputeScalar, inputs, ctx) -> Batch:
+    (child,) = inputs
+    layout = layout_of(child.columns)
+    data = [
+        compile_expr_vector(expr, layout)(child.data, child.length)
+        for _, expr in op.outputs
+    ]
+    return Batch(op.output_columns, data, child.length)
+
+
+def _exec_sort(op: Sort, inputs, ctx) -> Batch:
+    (child,) = inputs
+    layout = layout_of(child.columns)
+    order = list(range(child.length))
+    # Same stable multi-pass scheme as the iterator, applied to an index
+    # permutation: keys last-to-first, NULLs first ascending.  The sort
+    # key per pass is a precomputed list of rank tuples, so key
+    # construction runs once per row instead of once per comparison
+    # closure call.
+    for key in reversed(op.keys):
+        column = child.data[layout[key.column.cid]]
+        ranks = [(0, 0) if v is None else (1, v) for v in column]
+        order.sort(key=ranks.__getitem__, reverse=not key.ascending)
+    return Batch(
+        child.columns, [_take(c, order) for c in child.data], child.length
+    )
+
+
+def _exec_hash_distinct(op: HashDistinct, inputs, ctx) -> Batch:
+    (child,) = inputs
+    seen = set()
+    keep: List[int] = []
+    for i, row in enumerate(child.row_views()):
+        if row not in seen:
+            seen.add(row)
+            keep.append(i)
+    if len(keep) == child.length:
+        return child
+    return Batch(
+        child.columns, [_take(c, keep) for c in child.data], len(keep)
+    )
+
+
+def _exec_top(op: Top, inputs, ctx) -> Batch:
+    (child,) = inputs
+    if child.length <= op.count:
+        return child
+    return Batch(
+        child.columns, [c[: op.count] for c in child.data], op.count
+    )
+
+
+# ------------------------------------------------------------------- joins
+
+
+def _join_keys(batch: Batch, key_columns) -> list:
+    """Per-row join keys; ``None`` entries mark rows with a NULL key part.
+
+    Single-column keys use the value itself (``None`` is then naturally
+    the NULL marker); multi-column keys are tuples, replaced by ``None``
+    when any part is NULL — equality joins drop those rows.
+    """
+    layout = layout_of(batch.columns)
+    positions = [layout[c.cid] for c in key_columns]
+    if len(positions) == 1:
+        return batch.data[positions[0]]
+    key_data = [batch.data[p] for p in positions]
+    return [
+        None if None in key else key
+        for key in zip(*key_data)
+    ]
+
+
+def _combined_candidates(
+    left: Batch, right: Batch, pairs_l: List[int], pairs_r: List[int]
+) -> List[list]:
+    return [_take(c, pairs_l) for c in left.data] + [
+        _take(c, pairs_r) for c in right.data
+    ]
+
+
+def _gather_join(
+    op, left: Batch, right: Batch, pairs_l: List[int], pairs_r: List[int]
+) -> Batch:
+    """Build the combined output batch; -1 in ``pairs_r`` NULL-pads."""
+    data = [_take(c, pairs_l) for c in left.data] + [
+        _take_padded(c, pairs_r) for c in right.data
+    ]
+    return Batch(left.columns + right.columns, data, len(pairs_l))
+
+
+def _exec_nested_loops(op: NestedLoopsJoin, inputs, ctx) -> Batch:
+    left, right = inputs
+    kind = op.join_kind
+    nright = right.length
+    combined_columns = left.columns + right.columns
+
+    if op.predicate == TRUE:
+        match_indices = _all_indices_fn(nright)
+    else:
+        select = compile_selection_vector(
+            op.predicate, layout_of(combined_columns)
+        )
+
+        def match_indices(i: int) -> List[int]:
+            cols = [
+                [column[i]] * nright for column in left.data
+            ] + right.data
+            return select(cols, nright)
+
+    pairs_l: List[int] = []
+    pairs_r: List[int] = []
+    if kind in (JoinKind.INNER, JoinKind.CROSS):
+        for i in range(left.length):
+            matches = match_indices(i)
+            pairs_l.extend([i] * len(matches))
+            pairs_r.extend(matches)
+        return _gather_join(op, left, right, pairs_l, pairs_r)
+    if kind is JoinKind.LEFT_OUTER:
+        for i in range(left.length):
+            matches = match_indices(i)
+            if matches:
+                pairs_l.extend([i] * len(matches))
+                pairs_r.extend(matches)
+            else:
+                pairs_l.append(i)
+                pairs_r.append(-1)
+        return _gather_join(op, left, right, pairs_l, pairs_r)
+    if kind in (JoinKind.SEMI, JoinKind.ANTI):
+        want_match = kind is JoinKind.SEMI
+        keep = [
+            i
+            for i in range(left.length)
+            if bool(match_indices(i)) == want_match
+        ]
+        return Batch(
+            left.columns, [_take(c, keep) for c in left.data], len(keep)
+        )
+    from repro.engine.executor import ExecutionError
+
+    raise ExecutionError(f"unsupported join kind {kind}")
+
+
+def _all_indices_fn(nright: int):
+    all_indices = list(range(nright))
+    return lambda i: all_indices
+
+
+def _exec_nested_apply(op: NestedApply, inputs, ctx) -> Batch:
+    left, right = inputs
+    nright = right.length
+    if op.predicate == TRUE:
+        matched_any = nright > 0
+        matches_fn = lambda i: matched_any  # noqa: E731
+    else:
+        select = compile_selection_vector(
+            op.predicate, layout_of(left.columns + right.columns)
+        )
+
+        def matches_fn(i: int) -> bool:
+            cols = [
+                [column[i]] * nright for column in left.data
+            ] + right.data
+            return bool(select(cols, nright))
+
+    want_match = op.apply_kind is JoinKind.SEMI
+    keep = [
+        i for i in range(left.length) if matches_fn(i) == want_match
+    ]
+    return Batch(
+        left.columns, [_take(c, keep) for c in left.data], len(keep)
+    )
+
+
+def _exec_hash_join(op: HashJoin, inputs, ctx) -> Batch:
+    left, right = inputs
+    kind = op.join_kind
+    combined_columns = left.columns + right.columns
+
+    left_keys = _join_keys(left, op.left_keys)
+    right_keys = _join_keys(right, op.right_keys)
+
+    # Build side: rows with a NULL key can never satisfy an equality join.
+    table: Dict[object, List[int]] = {}
+    for j, key in enumerate(right_keys):
+        if key is None:
+            continue
+        table.setdefault(key, []).append(j)
+
+    has_residual = op.residual != TRUE
+    pairs_l: List[int] = []
+    pairs_r: List[int] = []
+
+    if kind is JoinKind.INNER:
+        for i, key in enumerate(left_keys):
+            if key is None:
+                continue
+            matches = table.get(key)
+            if matches:
+                pairs_l.extend([i] * len(matches))
+                pairs_r.extend(matches)
+        if has_residual:
+            select = compile_selection_vector(
+                op.residual, layout_of(combined_columns)
+            )
+            cand = _combined_candidates(left, right, pairs_l, pairs_r)
+            sel = select(cand, len(pairs_l))
+            pairs_l = _take(pairs_l, sel)
+            pairs_r = _take(pairs_r, sel)
+        return _gather_join(op, left, right, pairs_l, pairs_r)
+
+    # LEFT_OUTER / SEMI / ANTI need per-left-row match information.
+    counts: List[int] = []
+    for i, key in enumerate(left_keys):
+        matches = table.get(key) if key is not None else None
+        if matches:
+            pairs_l.extend([i] * len(matches))
+            pairs_r.extend(matches)
+            counts.append(len(matches))
+        else:
+            counts.append(0)
+
+    if has_residual:
+        select = compile_selection_vector(
+            op.residual, layout_of(combined_columns)
+        )
+        cand = _combined_candidates(left, right, pairs_l, pairs_r)
+        passed = set(select(cand, len(pairs_l)))
+    else:
+        passed = None  # every candidate passes
+
+    if kind is JoinKind.LEFT_OUTER:
+        out_l: List[int] = []
+        out_r: List[int] = []
+        pos = 0
+        for i, count in enumerate(counts):
+            matched = False
+            for t in range(pos, pos + count):
+                if passed is None or t in passed:
+                    out_l.append(i)
+                    out_r.append(pairs_r[t])
+                    matched = True
+            pos += count
+            if not matched:
+                out_l.append(i)
+                out_r.append(-1)
+        return _gather_join(op, left, right, out_l, out_r)
+
+    if kind in (JoinKind.SEMI, JoinKind.ANTI):
+        want_match = kind is JoinKind.SEMI
+        keep: List[int] = []
+        pos = 0
+        for i, count in enumerate(counts):
+            if passed is None:
+                matched = count > 0
+            else:
+                matched = any(
+                    t in passed for t in range(pos, pos + count)
+                )
+            pos += count
+            if matched == want_match:
+                keep.append(i)
+        return Batch(
+            left.columns, [_take(c, keep) for c in left.data], len(keep)
+        )
+
+    from repro.engine.executor import ExecutionError
+
+    raise ExecutionError(f"hash join does not support {kind}")
+
+
+def _merge_keys(batch: Batch, key_columns) -> List[Tuple]:
+    """Key tuples for merge join (always tuples: they are compared with <)."""
+    layout = layout_of(batch.columns)
+    positions = [layout[c.cid] for c in key_columns]
+    key_data = [batch.data[p] for p in positions]
+    if not key_data:
+        return [()] * batch.length
+    return list(zip(*key_data))
+
+
+def _exec_merge_join(op: MergeJoin, inputs, ctx) -> Batch:
+    left, right = inputs
+    combined_columns = left.columns + right.columns
+
+    left_keys = _merge_keys(left, op.left_keys)
+    right_keys = _merge_keys(right, op.right_keys)
+
+    # Rows with NULL keys cannot match an equality; drop them up front.
+    left_clean = [
+        i for i, key in enumerate(left_keys) if None not in key
+    ]
+    right_clean = [
+        j for j, key in enumerate(right_keys) if None not in key
+    ]
+
+    pairs_l: List[int] = []
+    pairs_r: List[int] = []
+    i = j = 0
+    nl, nr = len(left_clean), len(right_clean)
+    while i < nl and j < nr:
+        lkey = left_keys[left_clean[i]]
+        rkey = right_keys[right_clean[j]]
+        if lkey < rkey:
+            i += 1
+        elif lkey > rkey:
+            j += 1
+        else:
+            i_end = i
+            while i_end < nl and left_keys[left_clean[i_end]] == lkey:
+                i_end += 1
+            j_end = j
+            while j_end < nr and right_keys[right_clean[j_end]] == rkey:
+                j_end += 1
+            for li in left_clean[i:i_end]:
+                for rj in right_clean[j:j_end]:
+                    pairs_l.append(li)
+                    pairs_r.append(rj)
+            i, j = i_end, j_end
+
+    if op.residual != TRUE:
+        select = compile_selection_vector(
+            op.residual, layout_of(combined_columns)
+        )
+        cand = _combined_candidates(left, right, pairs_l, pairs_r)
+        sel = select(cand, len(pairs_l))
+        pairs_l = _take(pairs_l, sel)
+        pairs_r = _take(pairs_r, sel)
+    return _gather_join(op, left, right, pairs_l, pairs_r)
+
+
+# -------------------------------------------------------------- aggregation
+
+
+def _vector_aggregate(
+    function: AggregateFunction,
+    group_ids: List[int],
+    values: Optional[list],
+    n_groups: int,
+) -> list:
+    """Per-group results of one aggregate, matching :class:`Accumulator`."""
+    if function is AggregateFunction.COUNT_STAR:
+        counts = [0] * n_groups
+        for g in group_ids:
+            counts[g] += 1
+        return counts
+    if function is AggregateFunction.COUNT:
+        counts = [0] * n_groups
+        for g, v in zip(group_ids, values):
+            if v is not None:
+                counts[g] += 1
+        return counts
+    if function in (AggregateFunction.SUM, AggregateFunction.AVG):
+        sums = [0] * n_groups
+        counts = [0] * n_groups
+        for g, v in zip(group_ids, values):
+            if v is not None:
+                sums[g] += v
+                counts[g] += 1
+        if function is AggregateFunction.SUM:
+            return [s if c else None for s, c in zip(sums, counts)]
+        return [s / c if c else None for s, c in zip(sums, counts)]
+    if function is AggregateFunction.MIN:
+        best: list = [None] * n_groups
+        for g, v in zip(group_ids, values):
+            if v is not None and (best[g] is None or v < best[g]):
+                best[g] = v
+        return best
+    best = [None] * n_groups
+    for g, v in zip(group_ids, values):
+        if v is not None and (best[g] is None or v > best[g]):
+            best[g] = v
+    return best
+
+
+def _aggregate_outputs(
+    op, child: Batch, group_ids: List[int], n_groups: int
+) -> List[list]:
+    """Aggregate columns for either aggregate flavour."""
+    layout = layout_of(child.columns)
+    out: List[list] = []
+    for _, call in op.aggregates:
+        if call.argument is None:  # COUNT(*)
+            values = None
+        else:
+            values = compile_expr_vector(call.argument, layout)(
+                child.data, child.length
+            )
+        out.append(
+            _vector_aggregate(call.function, group_ids, values, n_groups)
+        )
+    return out
+
+
+def _empty_scalar_aggregate(op) -> Batch:
+    # Scalar aggregate over empty input: one row of defaults.
+    data = [
+        [Accumulator(call.function).result()] for _, call in op.aggregates
+    ]
+    return Batch(op.output_columns, data, 1)
+
+
+def _exec_hash_aggregate(op: HashAggregate, inputs, ctx) -> Batch:
+    (child,) = inputs
+    layout = layout_of(child.columns)
+    group_positions = [layout[c.cid] for c in op.group_by]
+
+    group_ids: List[int] = []
+    first_rows: List[int] = []
+    if group_positions:
+        key_data = [child.data[p] for p in group_positions]
+        index_of: Dict[Tuple, int] = {}
+        for i, key in enumerate(zip(*key_data)):
+            gid = index_of.get(key)
+            if gid is None:
+                gid = len(index_of)
+                index_of[key] = gid
+                first_rows.append(i)
+            group_ids.append(gid)
+        n_groups = len(index_of)
+    else:
+        n_groups = 1 if child.length else 0
+        group_ids = [0] * child.length
+        first_rows = [0] if child.length else []
+
+    if not op.group_by and not n_groups:
+        return _empty_scalar_aggregate(op)
+
+    group_data = [
+        _take(child.data[p], first_rows) for p in group_positions
+    ]
+    agg_data = _aggregate_outputs(op, child, group_ids, n_groups)
+    return Batch(op.output_columns, group_data + agg_data, n_groups)
+
+
+def _exec_stream_aggregate(op: StreamAggregate, inputs, ctx) -> Batch:
+    (child,) = inputs
+    layout = layout_of(child.columns)
+    # Run detection uses the canonical (sorted-by-cid) requirement order;
+    # output emits group columns in declared order — same split as the
+    # iterator.  Runs get fresh group ids even if a key value recurs
+    # later (stream aggregation groups by runs, not globally).
+    ordered_group = sorted(op.group_by, key=lambda c: c.cid)
+    group_positions = [layout[c.cid] for c in ordered_group]
+    declared_positions = [layout[c.cid] for c in op.group_by]
+
+    group_ids: List[int] = []
+    first_rows: List[int] = []
+    if group_positions:
+        key_data = [child.data[p] for p in group_positions]
+        previous: object = None
+        for i, key in enumerate(zip(*key_data)):
+            if not first_rows or key != previous:
+                first_rows.append(i)
+                previous = key
+            group_ids.append(len(first_rows) - 1)
+    else:
+        group_ids = [0] * child.length
+        first_rows = [0] if child.length else []
+    n_groups = len(first_rows)
+
+    if not n_groups and not op.group_by:
+        return _empty_scalar_aggregate(op)
+
+    group_data = [
+        _take(child.data[p], first_rows) for p in declared_positions
+    ]
+    agg_data = _aggregate_outputs(op, child, group_ids, n_groups)
+    return Batch(op.output_columns, group_data + agg_data, n_groups)
+
+
+# ------------------------------------------------------------------ set ops
+
+
+def _aligned_data(op, side: str, batch: Batch) -> List[list]:
+    """Realign one branch's columns to the operator's output order.
+
+    A pure column permutation — no row materialization, unlike the
+    iterator's per-row tuple rebuild.
+    """
+    branch_columns = op.left_columns if side == "left" else op.right_columns
+    layout = layout_of(batch.columns)
+    return [batch.data[layout[c.cid]] for c in branch_columns]
+
+
+def _distinct_concat(op, left_data, right_data, n_left, n_right) -> Batch:
+    data = [
+        lcol + rcol for lcol, rcol in zip(left_data, right_data)
+    ]
+    merged = Batch(op.output_columns, data, n_left + n_right)
+    return _exec_hash_distinct_batch(merged)
+
+
+def _exec_hash_distinct_batch(batch: Batch) -> Batch:
+    seen = set()
+    keep: List[int] = []
+    for i, row in enumerate(batch.row_views()):
+        if row not in seen:
+            seen.add(row)
+            keep.append(i)
+    if len(keep) == batch.length:
+        return batch
+    return Batch(
+        batch.columns, [_take(c, keep) for c in batch.data], len(keep)
+    )
+
+
+def _exec_concat(op: Concat, inputs, ctx) -> Batch:
+    left, right = inputs
+    left_data = _aligned_data(op, "left", left)
+    right_data = _aligned_data(op, "right", right)
+    data = [lcol + rcol for lcol, rcol in zip(left_data, right_data)]
+    return Batch(op.output_columns, data, left.length + right.length)
+
+
+def _exec_hash_union(op: HashUnion, inputs, ctx) -> Batch:
+    left, right = inputs
+    return _distinct_concat(
+        op,
+        _aligned_data(op, "left", left),
+        _aligned_data(op, "right", right),
+        left.length,
+        right.length,
+    )
+
+
+def _exec_hash_intersect(op: HashIntersect, inputs, ctx) -> Batch:
+    left, right = inputs
+    left_data = _aligned_data(op, "left", left)
+    aligned_left = Batch(op.output_columns, left_data, left.length)
+    right_rows = set(
+        Batch(
+            op.output_columns,
+            _aligned_data(op, "right", right),
+            right.length,
+        ).row_views()
+    )
+    seen = set()
+    keep: List[int] = []
+    for i, row in enumerate(aligned_left.row_views()):
+        if row in right_rows and row not in seen:
+            seen.add(row)
+            keep.append(i)
+    return Batch(
+        op.output_columns,
+        [_take(c, keep) for c in left_data],
+        len(keep),
+    )
+
+
+def _exec_hash_except(op: HashExcept, inputs, ctx) -> Batch:
+    left, right = inputs
+    left_data = _aligned_data(op, "left", left)
+    aligned_left = Batch(op.output_columns, left_data, left.length)
+    right_rows = set(
+        Batch(
+            op.output_columns,
+            _aligned_data(op, "right", right),
+            right.length,
+        ).row_views()
+    )
+    seen = set()
+    keep: List[int] = []
+    for i, row in enumerate(aligned_left.row_views()):
+        if row not in right_rows and row not in seen:
+            seen.add(row)
+            keep.append(i)
+    return Batch(
+        op.output_columns,
+        [_take(c, keep) for c in left_data],
+        len(keep),
+    )
+
+
+_HANDLERS = {
+    PhysOpKind.TABLE_SCAN: _exec_table_scan,
+    PhysOpKind.FILTER: _exec_filter,
+    PhysOpKind.COMPUTE_SCALAR: _exec_compute_scalar,
+    PhysOpKind.NESTED_LOOPS_JOIN: _exec_nested_loops,
+    PhysOpKind.NESTED_APPLY: _exec_nested_apply,
+    PhysOpKind.HASH_JOIN: _exec_hash_join,
+    PhysOpKind.MERGE_JOIN: _exec_merge_join,
+    PhysOpKind.HASH_AGGREGATE: _exec_hash_aggregate,
+    PhysOpKind.STREAM_AGGREGATE: _exec_stream_aggregate,
+    PhysOpKind.SORT: _exec_sort,
+    PhysOpKind.CONCAT: _exec_concat,
+    PhysOpKind.HASH_UNION: _exec_hash_union,
+    PhysOpKind.HASH_DISTINCT: _exec_hash_distinct,
+    PhysOpKind.HASH_INTERSECT: _exec_hash_intersect,
+    PhysOpKind.HASH_EXCEPT: _exec_hash_except,
+    PhysOpKind.TOP: _exec_top,
+}

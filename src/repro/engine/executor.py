@@ -1,10 +1,22 @@
-"""Plan execution: the iterator-model interpreter for physical plans.
+"""Plan execution: executor dispatch plus the iterator-model interpreter.
 
-``execute_plan`` materializes the result of a physical operator tree against
-a :class:`~repro.storage.database.Database`.  Layouts are computed
-dynamically from each operator's *actual* children (two equivalent plans may
-order join outputs differently; parents compile expressions against the
-layout they actually receive).
+``execute_plan`` materializes the result of a physical operator tree
+against a :class:`~repro.storage.database.Database`.  Two executors
+implement identical semantics:
+
+* the **columnar** executor (:mod:`repro.engine.columnar`) — the default
+  hot path, batch-oriented over per-column lists;
+* the **iterator** interpreter in this module — the reference oracle,
+  selected with ``ExecutionConfig(executor="iterator")`` or the
+  ``REPRO_EXECUTOR=iterator`` environment escape hatch.
+
+``ExecutionConfig.self_check`` runs both and raises if their canonical
+result bags ever disagree (a deterministic plan-signature sample keeps
+the cost tunable).
+
+Layouts are computed dynamically from each operator's *actual* children
+(two equivalent plans may order join outputs differently; parents compile
+expressions against the layout they actually receive).
 
 NULL semantics follow SQL throughout: predicates keep rows only when TRUE;
 outer joins NULL-extend; grouping, DISTINCT and set operations treat NULLs
@@ -13,11 +25,14 @@ as equal; aggregates skip NULLs (except COUNT(*)).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import operator
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.engine.config import ITERATOR, ExecutionConfig, default_execution_config
 from repro.expr.aggregates import Accumulator
 from repro.expr.eval import compile_expr, compile_predicate, layout_of
 from repro.expr.expressions import Column, TRUE
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.physical.operators import (
     ComputeScalar,
     Concat,
@@ -37,8 +52,9 @@ from repro.physical.operators import (
     StreamAggregate,
     TableScan,
     Top,
+    plan_signature,
 )
-from repro.engine.results import QueryResult
+from repro.engine.results import QueryResult, diff_summary
 from repro.logical.operators import JoinKind
 from repro.storage.database import Database
 
@@ -55,13 +71,125 @@ def execute_plan(
     plan: PhysicalOp,
     database: Database,
     output_columns: Columns = None,
+    *,
+    config: Optional[ExecutionConfig] = None,
+    tracer: Tracer = NULL_TRACER,
+    metrics=None,
 ) -> QueryResult:
-    """Execute ``plan``; optionally project to ``output_columns`` order."""
+    """Execute ``plan``; optionally project to ``output_columns`` order.
+
+    ``config`` selects the executor (columnar by default; see
+    :mod:`repro.engine.config` for the environment overrides).
+    """
+    from repro.engine.columnar import execute_columnar
+
+    if config is None:
+        config = default_execution_config()
+    if config.self_check and _sampled_for_self_check(plan, config):
+        return _self_checked_execute(
+            plan, database, output_columns, config, tracer, metrics
+        )
+    if not tracer.enabled:
+        if config.executor == ITERATOR:
+            result = execute_plan_iterator(plan, database, output_columns)
+        else:
+            result = execute_columnar(
+                plan, database, output_columns, tracer=tracer, metrics=metrics
+            )
+    else:
+        # Note: no plan signature in the span args — signatures embed
+        # column ids, which differ across re-parses of the same SQL, and
+        # trace JSON must stay byte-identical across runs.
+        with tracer.span(
+            "exec.plan",
+            cat="exec",
+            executor=config.executor,
+            operators=sum(1 for _ in plan.walk()),
+        ) as span:
+            if config.executor == ITERATOR:
+                result = execute_plan_iterator(plan, database, output_columns)
+            else:
+                result = execute_columnar(
+                    plan,
+                    database,
+                    output_columns,
+                    tracer=tracer,
+                    metrics=metrics,
+                )
+            span.annotate(rows_out=result.row_count)
+    if metrics is not None:
+        metrics.counter("exec.executions", executor=config.executor).inc()
+        metrics.counter("exec.rows").inc(result.row_count)
+    return result
+
+
+def _sampled_for_self_check(plan: PhysicalOp, config: ExecutionConfig) -> bool:
+    if config.self_check_rate >= 1.0:
+        return True
+    # Deterministic by plan structure: the same plan is always either
+    # checked or not, independent of execution order.
+    bucket = int(plan_signature(plan), 16) % 10_000
+    return bucket < int(config.self_check_rate * 10_000)
+
+
+def _self_checked_execute(
+    plan: PhysicalOp,
+    database: Database,
+    output_columns,
+    config: ExecutionConfig,
+    tracer: Tracer,
+    metrics,
+) -> QueryResult:
+    """Run both executors; raise loudly if their result bags disagree."""
+    from repro.engine.columnar import execute_columnar
+
+    columnar = execute_columnar(
+        plan, database, output_columns, tracer=tracer, metrics=metrics
+    )
+    iterator = execute_plan_iterator(plan, database, output_columns)
+    if metrics is not None:
+        metrics.counter("exec.self_checks").inc()
+        metrics.counter("exec.executions", executor=config.executor).inc()
+        metrics.counter("exec.rows").inc(columnar.row_count)
+    if len(columnar.columns) != len(iterator.columns) or not columnar.same_rows(
+        iterator
+    ):
+        if metrics is not None:
+            metrics.counter("exec.self_check_mismatches").inc()
+        raise ExecutionError(
+            "executor self-check failed: columnar and iterator disagree "
+            f"on plan {plan_signature(plan)}: "
+            f"{diff_summary(columnar, iterator)}"
+        )
+    return columnar if config.executor != ITERATOR else iterator
+
+
+def execute_plan_iterator(
+    plan: PhysicalOp,
+    database: Database,
+    output_columns: Columns = None,
+) -> QueryResult:
+    """Execute ``plan`` on the row-at-a-time reference interpreter."""
     rows, columns = _execute(plan, database)
     result = QueryResult(columns=columns, rows=rows)
     if output_columns is not None:
         result = result.projected(tuple(output_columns))
     return result
+
+
+def _tuple_getter(positions: List[int]) -> Callable[[Tuple], Tuple]:
+    """Compiled key extractor: ``row -> tuple(row[i] for i in positions)``.
+
+    Hoisted out of the per-row loops of the hash/merge/aggregate paths;
+    ``operator.itemgetter`` runs in C instead of a generator expression
+    per row.
+    """
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: (row[position],)
+    return operator.itemgetter(*positions)
 
 
 def _execute(op: PhysicalOp, database: Database) -> Tuple[Rows, Columns]:
@@ -99,16 +227,17 @@ def _exec_compute_scalar(op: ComputeScalar, database: Database):
 def _exec_sort(op: Sort, database: Database):
     rows, columns = _execute(op.child, database)
     layout = layout_of(columns)
-    ordered = list(rows)
     # Stable multi-pass sort: apply keys last-to-first.  NULLs sort first
-    # ascending (and therefore last descending), SQL Server style.
+    # ascending (and therefore last descending), SQL Server style.  Rank
+    # tuples are precomputed per pass and an index permutation is sorted,
+    # so the key closure is a C-level list lookup instead of rebuilding
+    # the rank tuple on every comparison call.
+    order = list(range(len(rows)))
     for key in reversed(op.keys):
         index = layout[key.column.cid]
-        ordered.sort(
-            key=lambda row: _null_first_key(row[index]),
-            reverse=not key.ascending,
-        )
-    return ordered, columns
+        ranks = [_null_first_key(row[index]) for row in rows]
+        order.sort(key=ranks.__getitem__, reverse=not key.ascending)
+    return [rows[i] for i in order], columns
 
 
 def _null_first_key(value):
@@ -204,8 +333,8 @@ def _exec_hash_join(op: HashJoin, database: Database):
 
     left_layout = layout_of(left_columns)
     right_layout = layout_of(right_columns)
-    left_positions = [left_layout[c.cid] for c in op.left_keys]
-    right_positions = [right_layout[c.cid] for c in op.right_keys]
+    left_key = _tuple_getter([left_layout[c.cid] for c in op.left_keys])
+    right_key = _tuple_getter([right_layout[c.cid] for c in op.right_keys])
 
     residual = (
         (lambda row: True)
@@ -216,16 +345,16 @@ def _exec_hash_join(op: HashJoin, database: Database):
     # Build side: rows with a NULL key can never satisfy an equality join.
     table: Dict[Tuple, List[Tuple]] = {}
     for rrow in right_rows:
-        key = tuple(rrow[i] for i in right_positions)
-        if any(value is None for value in key):
+        key = right_key(rrow)
+        if None in key:
             continue
         table.setdefault(key, []).append(rrow)
 
     out: Rows = []
     if kind in (JoinKind.INNER,):
         for lrow in left_rows:
-            key = tuple(lrow[i] for i in left_positions)
-            if any(value is None for value in key):
+            key = left_key(lrow)
+            if None in key:
                 continue
             for rrow in table.get(key, ()):
                 row = lrow + rrow
@@ -235,9 +364,9 @@ def _exec_hash_join(op: HashJoin, database: Database):
     if kind is JoinKind.LEFT_OUTER:
         null_pad = (None,) * len(right_columns)
         for lrow in left_rows:
-            key = tuple(lrow[i] for i in left_positions)
+            key = left_key(lrow)
             matched = False
-            if not any(value is None for value in key):
+            if None not in key:
                 for rrow in table.get(key, ()):
                     row = lrow + rrow
                     if residual(row):
@@ -249,9 +378,9 @@ def _exec_hash_join(op: HashJoin, database: Database):
     if kind in (JoinKind.SEMI, JoinKind.ANTI):
         want_match = kind is JoinKind.SEMI
         for lrow in left_rows:
-            key = tuple(lrow[i] for i in left_positions)
+            key = left_key(lrow)
             matched = False
-            if not any(value is None for value in key):
+            if None not in key:
                 matched = any(
                     residual(lrow + rrow) for rrow in table.get(key, ())
                 )
@@ -268,8 +397,8 @@ def _exec_merge_join(op: MergeJoin, database: Database):
 
     left_layout = layout_of(left_columns)
     right_layout = layout_of(right_columns)
-    left_positions = [left_layout[c.cid] for c in op.left_keys]
-    right_positions = [right_layout[c.cid] for c in op.right_keys]
+    left_key = _tuple_getter([left_layout[c.cid] for c in op.left_keys])
+    right_key = _tuple_getter([right_layout[c.cid] for c in op.right_keys])
     residual = (
         (lambda row: True)
         if op.residual == TRUE
@@ -277,22 +406,28 @@ def _exec_merge_join(op: MergeJoin, database: Database):
     )
 
     # Rows with NULL keys cannot match an equality; drop them up front.
-    left_clean = [
-        row
-        for row in left_rows
-        if not any(row[i] is None for i in left_positions)
-    ]
-    right_clean = [
-        row
-        for row in right_rows
-        if not any(row[i] is None for i in right_positions)
-    ]
+    # Keys are extracted once per row here rather than re-derived inside
+    # the two-pointer loop below.
+    left_clean: List[Tuple] = []
+    left_keyed: List[Tuple] = []
+    for row in left_rows:
+        key = left_key(row)
+        if None not in key:
+            left_clean.append(row)
+            left_keyed.append(key)
+    right_clean: List[Tuple] = []
+    right_keyed: List[Tuple] = []
+    for row in right_rows:
+        key = right_key(row)
+        if None not in key:
+            right_clean.append(row)
+            right_keyed.append(key)
 
     out: Rows = []
     i = j = 0
     while i < len(left_clean) and j < len(right_clean):
-        lkey = tuple(left_clean[i][p] for p in left_positions)
-        rkey = tuple(right_clean[j][p] for p in right_positions)
+        lkey = left_keyed[i]
+        rkey = right_keyed[j]
         if lkey < rkey:
             i += 1
         elif lkey > rkey:
@@ -300,16 +435,10 @@ def _exec_merge_join(op: MergeJoin, database: Database):
         else:
             # Equal-key runs: cross product of the two runs.
             i_end = i
-            while (
-                i_end < len(left_clean)
-                and tuple(left_clean[i_end][p] for p in left_positions) == lkey
-            ):
+            while i_end < len(left_clean) and left_keyed[i_end] == lkey:
                 i_end += 1
             j_end = j
-            while (
-                j_end < len(right_clean)
-                and tuple(right_clean[j_end][p] for p in right_positions) == rkey
-            ):
+            while j_end < len(right_clean) and right_keyed[j_end] == rkey:
                 j_end += 1
             for lrow in left_clean[i:i_end]:
                 for rrow in right_clean[j:j_end]:
@@ -339,13 +468,13 @@ def _make_agg_inputs(
 def _exec_hash_aggregate(op: HashAggregate, database: Database):
     rows, columns = _execute(op.child, database)
     layout = layout_of(columns)
-    group_positions = [layout[c.cid] for c in op.group_by]
+    group_key = _tuple_getter([layout[c.cid] for c in op.group_by])
     extractors = _make_agg_inputs(op.aggregates, layout)
 
     groups: Dict[Tuple, List[Accumulator]] = {}
     order: List[Tuple] = []
     for row in rows:
-        key = tuple(row[i] for i in group_positions)
+        key = group_key(row)
         accumulators = groups.get(key)
         if accumulators is None:
             accumulators = [
@@ -378,9 +507,9 @@ def _exec_stream_aggregate(op: StreamAggregate, database: Database):
     layout = layout_of(columns)
     # Grouping positions in the canonical (sorted-by-cid) requirement order.
     ordered_group = sorted(op.group_by, key=lambda c: c.cid)
-    group_positions = [layout[c.cid] for c in ordered_group]
+    group_key = _tuple_getter([layout[c.cid] for c in ordered_group])
     # Output emits group columns in declared order.
-    declared_positions = [layout[c.cid] for c in op.group_by]
+    declared_key = _tuple_getter([layout[c.cid] for c in op.group_by])
     extractors = _make_agg_inputs(op.aggregates, layout)
 
     out: Rows = []
@@ -389,7 +518,7 @@ def _exec_stream_aggregate(op: StreamAggregate, database: Database):
     current_declared: Tuple = ()
     saw_any = False
     for row in rows:
-        key = tuple(row[i] for i in group_positions)
+        key = group_key(row)
         if not saw_any or key != current_key:
             if saw_any:
                 out.append(
@@ -397,7 +526,7 @@ def _exec_stream_aggregate(op: StreamAggregate, database: Database):
                     + tuple(acc.result() for acc in accumulators)
                 )
             current_key = key
-            current_declared = tuple(row[i] for i in declared_positions)
+            current_declared = declared_key(row)
             accumulators = [
                 Accumulator(call.function) for _, call in op.aggregates
             ]
@@ -428,8 +557,8 @@ def _aligned_branch(op, side: str, database: Database) -> Rows:
     branch_columns = op.left_columns if side == "left" else op.right_columns
     rows, columns = _execute(child, database)
     layout = layout_of(columns)
-    positions = [layout[c.cid] for c in branch_columns]
-    return [tuple(row[i] for i in positions) for row in rows]
+    realign = _tuple_getter([layout[c.cid] for c in branch_columns])
+    return [realign(row) for row in rows]
 
 
 def _exec_concat(op: Concat, database: Database):

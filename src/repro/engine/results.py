@@ -11,7 +11,7 @@ orders.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.expr.expressions import Column
@@ -41,6 +41,8 @@ class QueryResult:
 
     columns: Tuple[Column, ...]
     rows: List[Tuple]
+    #: Lazily computed bag digest (process-local; see repro.engine.digest).
+    _digest: object = field(default=None, repr=False, compare=False)
 
     @property
     def row_count(self) -> int:
@@ -48,6 +50,18 @@ class QueryResult:
 
     def multiset(self) -> Counter:
         return Counter(canonical_row(row) for row in self.rows)
+
+    def bag_digest(self):
+        """Order-insensitive digest of the canonical row bag, cached.
+
+        One O(n) pass on first use; comparisons against other digests are
+        then O(1).  Process-local — never persist it into artifacts.
+        """
+        if self._digest is None:
+            from repro.engine.digest import digest_rows
+
+            self._digest = digest_rows(self.rows)
+        return self._digest
 
     def same_rows(self, other: "QueryResult") -> bool:
         """Bag equality of the two results (column layouts must align)."""
@@ -79,10 +93,18 @@ class QueryResult:
 
 
 def results_identical(a: QueryResult, b: QueryResult) -> bool:
-    """Multiset comparison used by the correctness harness."""
+    """Multiset comparison used by the correctness harness.
+
+    Compares cached incremental bag digests instead of building a
+    ``Counter`` per side per call: equal bags always compare equal, and
+    the digest's two independent 64-bit accumulators plus the exact row
+    count make a false "identical" on unequal bags vanishingly unlikely.
+    :func:`diff_summary` still materializes exact multisets when a
+    mismatch needs explaining.
+    """
     if len(a.columns) != len(b.columns):
         return False
-    return a.same_rows(b)
+    return a.bag_digest() == b.bag_digest()
 
 
 def diff_summary(a: QueryResult, b: QueryResult) -> str:

@@ -179,6 +179,47 @@ METRIC_DOCS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
         "Plan-shape comparisons whose normalized shapes differed "
         "(informational; never a verdict by itself).",
     ),
+    # ------------------------------------------------------------ execution
+    "exec.executions": (
+        "counter", ("executor",),
+        "Completed plan executions, labelled by executor "
+        "(columnar or iterator).",
+    ),
+    "exec.rows": (
+        "counter", (),
+        "Result rows produced by completed plan executions.",
+    ),
+    "exec.batches": (
+        "counter", (),
+        "Coalesced execution groups processed by `execute_many()` "
+        "(one unique (plan, projection) pair per group).",
+    ),
+    "exec.coalesced": (
+        "counter", (),
+        "Requests inside `execute_many()` batches that reused another "
+        "request's execution instead of running the plan again.",
+    ),
+    "exec.cache_hits": (
+        "counter", (),
+        "`PlanService.execute_many()` requests answered from the "
+        "cross-batch result cache (keyed by plan signature, projection, "
+        "and database fingerprint).",
+    ),
+    "exec.scan_cache_hits": (
+        "counter", (),
+        "Columnar table scans served from the per-table column "
+        "snapshot cache (shared scans).",
+    ),
+    "exec.self_checks": (
+        "counter", (),
+        "Executions differentially verified by running both the "
+        "columnar and iterator executors.",
+    ),
+    "exec.self_check_mismatches": (
+        "counter", (),
+        "Self-checked executions whose executors disagreed on the "
+        "canonical result bag (each one raises `ExecutionError`).",
+    ),
     # ---------------------------------------------------------------- trace
     "trace.dropped_events": (
         "gauge", (),

@@ -80,6 +80,9 @@ class _NullSpan:
     def __exit__(self, *exc_info) -> None:
         pass
 
+    def annotate(self, **args: "ArgValue") -> None:
+        pass
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -128,6 +131,10 @@ class _RecordingSpan:
     def __enter__(self) -> "_RecordingSpan":
         self._start_ns = time.perf_counter_ns()
         return self
+
+    def annotate(self, **args: ArgValue) -> None:
+        """Attach args discovered mid-span (e.g. output row counts)."""
+        self._args.update(args)
 
     def __exit__(self, *exc_info) -> None:
         end_ns = time.perf_counter_ns()

@@ -14,6 +14,7 @@ already available.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
@@ -480,3 +481,15 @@ class Top(PhysicalOp):
 
     def describe(self) -> str:
         return f"Top({self.count})"
+
+
+def plan_signature(op: PhysicalOp) -> str:
+    """Short structural fingerprint of a physical plan.
+
+    Physical operators are frozen dataclasses whose ``repr`` is fully
+    structural (children, predicates, keys), so hashing the repr gives a
+    stable within- and across-process identity.  Used to key execution
+    result caches, coalesce identical executions inside a batch, and
+    annotate executor trace spans.
+    """
+    return hashlib.sha256(repr(op).encode("utf-8")).hexdigest()[:16]

@@ -47,6 +47,20 @@ class Database:
     def row_count(self, table_name: str) -> int:
         return len(self.table(table_name))
 
+    def data_fingerprint(self) -> str:
+        """Cheap fingerprint of the current table contents.
+
+        Built from per-table data versions (bumped on every insert), not
+        from row values, so it costs O(tables).  Execution-result caches
+        key on it: two executions of one plan against the same fingerprint
+        are guaranteed to see identical rows.  The fingerprint is stable
+        within a process, not across processes.
+        """
+        return ";".join(
+            f"{name}:{table.version}"
+            for name, table in sorted(self._tables.items())
+        )
+
     def describe(self) -> str:
         """Human-readable summary: table name and row count per table."""
         lines = [

@@ -50,6 +50,10 @@ class StoredTable:
         self.definition = definition
         self._rows: List[Tuple] = []
         self._stats: TableStats | None = None
+        #: Data version: bumped on every insert.  Execution-result caches
+        #: and the columnar scan cache key on it to stay consistent.
+        self._version = 0
+        self._column_cache: List[list] | None = None
 
     @property
     def name(self) -> str:
@@ -58,6 +62,33 @@ class StoredTable:
     @property
     def rows(self) -> List[Tuple]:
         return self._rows
+
+    @property
+    def version(self) -> int:
+        """Monotonic data version (number of mutations so far)."""
+        return self._version
+
+    @property
+    def has_column_cache(self) -> bool:
+        """Is the columnar snapshot already materialized and current?"""
+        return self._column_cache is not None
+
+    def column_data(self) -> List[list]:
+        """Struct-of-arrays snapshot: one Python list per column.
+
+        The snapshot is cached until the next :meth:`insert`, so every
+        columnar scan of this table -- across plans, batches and whole
+        campaigns -- shares one materialization.  Callers must treat the
+        returned column lists as immutable.
+        """
+        if self._column_cache is None:
+            if self._rows:
+                self._column_cache = [list(col) for col in zip(*self._rows)]
+            else:
+                self._column_cache = [
+                    [] for _ in self.definition.columns
+                ]
+        return self._column_cache
 
     def insert(self, row: Sequence[object]) -> None:
         """Insert one row after validating arity, types and NOT NULL."""
@@ -74,6 +105,8 @@ class StoredTable:
             _check_value(self.name, col.name, col.data_type, value)
         self._rows.append(tuple(row))
         self._stats = None
+        self._version += 1
+        self._column_cache = None
 
     def insert_many(self, rows: Iterable[Sequence[object]]) -> None:
         for row in rows:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.engine.config import ExecutionConfig
 from repro.engine.executor import ExecutionError, execute_plan
 from repro.engine.results import QueryResult, diff_summary, results_identical
 from repro.optimizer.config import DEFAULT_CONFIG, OptimizerConfig
@@ -84,6 +85,8 @@ class CorrectnessRunner:
         config: Optional[OptimizerConfig] = None,
         monotonicity_guard=None,
         service: Optional[PlanService] = None,
+        execution: Optional[ExecutionConfig] = None,
+        batched: bool = True,
     ) -> None:
         self.database = database
         self.registry = registry
@@ -95,6 +98,15 @@ class CorrectnessRunner:
         #: set, every baseline/disabled cost pair is asserted against the
         #: ``Cost(q) <= Cost(q, not R)`` invariant.
         self.monotonicity_guard = monotonicity_guard
+        #: Executor selection; ``None`` resolves the process default
+        #: (columnar unless ``REPRO_EXECUTOR=iterator``) per execution.
+        self.execution = execution
+        #: Batched mode routes all plan executions through
+        #: ``PlanService.execute_many`` (scan sharing, coalescing, the
+        #: cross-batch result cache).  Verdicts and record order are
+        #: identical to the serial path, which is kept for A/B
+        #: benchmarking and as a fallback oracle.
+        self.batched = batched
 
     def _optimize(self, query: SuiteQuery, rules_off: RuleNode = ()):
         return self.service.optimize(
@@ -126,6 +138,157 @@ class CorrectnessRunner:
         self.service.optimize_many(requests, return_errors=True)
 
     def _run(self, plan: CompressionPlan, suite: TestSuite) -> CorrectnessReport:
+        if self.batched:
+            return self._run_batched(plan, suite)
+        return self._run_serial(plan, suite)
+
+    def _run_batched(
+        self, plan: CompressionPlan, suite: TestSuite
+    ) -> CorrectnessReport:
+        """Batched flow: optimize/classify first, execute in bulk, then
+        emit records in the serial path's exact iteration order."""
+        tracer = self.service.tracer
+        report = CorrectnessReport()
+        baseline_results: Dict[int, QueryResult] = {}
+        baseline_plans: Dict[int, object] = {}
+        baseline_costs: Dict[int, float] = {}
+
+        self._prewarm(plan, suite)
+
+        # Baseline pass A: optimize every selected query in order.
+        baseline_ids = sorted(plan.selected_query_ids)
+        baseline_opt: Dict[int, object] = {}
+        opt_errors: Dict[int, str] = {}
+        pending: List[int] = []
+        for query_id in baseline_ids:
+            try:
+                baseline_opt[query_id] = self._optimize(suite.query(query_id))
+                pending.append(query_id)
+            except OptimizationError as exc:
+                opt_errors[query_id] = str(exc)
+        executed = self.service.execute_many(
+            [
+                (baseline_opt[q].plan, baseline_opt[q].output_columns)
+                for q in pending
+            ],
+            database=self.database,
+            execution=self.execution,
+        )
+        exec_items = dict(zip(pending, executed))
+
+        # Baseline pass B: emit errors/results in sorted-query order.
+        for query_id in baseline_ids:
+            if query_id in opt_errors:
+                message = opt_errors[query_id]
+                report.errors.append(f"query {query_id}: {message}")
+                report.records.append(
+                    ComparisonRecord((), query_id, "error", message)
+                )
+                continue
+            item = exec_items[query_id]
+            if item.error is not None:
+                message = str(item.error)
+                report.errors.append(f"query {query_id}: {message}")
+                report.records.append(
+                    ComparisonRecord((), query_id, "error", message)
+                )
+                continue
+            result = baseline_opt[query_id]
+            baseline_plans[query_id] = result.plan
+            baseline_costs[query_id] = result.cost
+            baseline_results[query_id] = item.result
+            report.queries_executed += 1
+
+        # Disabled pass A: optimize and classify every (node, query) edge.
+        entries: List[tuple] = []  # (node, query_id, kind, payload)
+        requests: List[tuple] = []
+        for node, query_ids in plan.assignments.items():
+            for query_id in query_ids:
+                if query_id not in baseline_results:
+                    continue
+                try:
+                    disabled = self._optimize(suite.query(query_id), node)
+                except OptimizationError as exc:
+                    entries.append((node, query_id, "opt_error", str(exc)))
+                    continue
+                if self.monotonicity_guard is not None:
+                    self.monotonicity_guard.observe(
+                        f"query {query_id}",
+                        baseline_costs[query_id],
+                        disabled.cost,
+                        node,
+                    )
+                if disabled.plan == baseline_plans[query_id]:
+                    # Identical plans guarantee identical results (paper,
+                    # footnote 1): skip execution.
+                    entries.append((node, query_id, "identical", None))
+                    if tracer.enabled:
+                        tracer.event(
+                            "correctness.identical_plan", cat="testing",
+                            query=query_id, rules=",".join(node),
+                        )
+                    continue
+                entries.append((node, query_id, "execute", disabled))
+                requests.append((disabled.plan, disabled.output_columns))
+        disabled_items = iter(
+            self.service.execute_many(
+                requests, database=self.database, execution=self.execution
+            )
+        )
+
+        # Disabled pass B: compare and emit in the serial iteration order.
+        for node, query_id, kind, payload in entries:
+            if kind == "opt_error":
+                report.errors.append(f"query {query_id} ¬{node}: {payload}")
+                report.records.append(
+                    ComparisonRecord(node, query_id, "error", payload)
+                )
+                continue
+            if kind == "identical":
+                report.skipped_identical_plans += 1
+                report.records.append(
+                    ComparisonRecord(node, query_id, "identical")
+                )
+                continue
+            item = next(disabled_items)
+            if item.error is not None:
+                message = str(item.error)
+                report.errors.append(f"query {query_id} ¬{node}: {message}")
+                report.records.append(
+                    ComparisonRecord(node, query_id, "error", message)
+                )
+                continue
+            report.disabled_plans_executed += 1
+            report.comparisons += 1
+            if tracer.enabled:
+                tracer.event(
+                    "correctness.comparison", cat="testing",
+                    query=query_id, rules=",".join(node),
+                )
+            expected = baseline_results[query_id]
+            alternative = item.result
+            if not results_identical(expected, alternative):
+                detail = diff_summary(expected, alternative)
+                report.issues.append(
+                    CorrectnessIssue(
+                        rule_node=node,
+                        query_id=query_id,
+                        sql=suite.query(query_id).sql,
+                        detail=detail,
+                    )
+                )
+                report.records.append(
+                    ComparisonRecord(node, query_id, "mismatch", detail)
+                )
+            else:
+                report.records.append(
+                    ComparisonRecord(node, query_id, "equal")
+                )
+        return report
+
+    def _run_serial(
+        self, plan: CompressionPlan, suite: TestSuite
+    ) -> CorrectnessReport:
         tracer = self.service.tracer
         report = CorrectnessReport()
         baseline_results: Dict[int, QueryResult] = {}
@@ -140,7 +303,8 @@ class CorrectnessRunner:
                 baseline_plans[query_id] = result.plan
                 baseline_costs[query_id] = result.cost
                 baseline_results[query_id] = execute_plan(
-                    result.plan, self.database, result.output_columns
+                    result.plan, self.database, result.output_columns,
+                    config=self.execution,
                 )
                 report.queries_executed += 1
             except (OptimizationError, ExecutionError) as exc:
@@ -186,7 +350,8 @@ class CorrectnessRunner:
                     continue
                 try:
                     alternative = execute_plan(
-                        disabled.plan, self.database, disabled.output_columns
+                        disabled.plan, self.database, disabled.output_columns,
+                        config=self.execution,
                     )
                 except ExecutionError as exc:
                     report.errors.append(

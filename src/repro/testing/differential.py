@@ -42,7 +42,7 @@ from __future__ import annotations
 import json
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.backends.base import Backend, BackendRun, bag_diff_summary
 from repro.obs.metrics import MetricsRegistry
@@ -362,10 +362,9 @@ class DifferentialRunner:
             backend=backend.name, queries=len(queries),
         ):
             backend.ensure_ready(self.database)
-            return [
-                backend.run(query.query_id, query.tree)
-                for query in queries
-            ]
+            return backend.run_many(
+                [(query.query_id, query.tree) for query in queries]
+            )
 
     # -------------------------------------------------------------- public
 

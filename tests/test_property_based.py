@@ -15,7 +15,14 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.catalog.schema import DataType
-from repro.engine import execute_plan, results_identical
+from collections import Counter
+
+from repro.engine import (
+    canonical_row,
+    digest_rows,
+    execute_plan,
+    results_identical,
+)
 from repro.expr.eval import compile_expr, evaluate, layout_of
 from repro.expr.expressions import (
     Arithmetic,
@@ -202,6 +209,64 @@ class TestRuleCorrectnessProperty:
         left = execute_plan(original.plan, DB, original.output_columns)
         right = execute_plan(rebuilt.plan, DB, rebuilt.output_columns)
         assert results_identical(left, right), sql
+
+
+class TestBagDigestProperty:
+    """The incremental bag digest (docs/EXECUTION.md) must agree with
+    ``Counter``-based canonical bag equality: equal bags always digest
+    equally, and sampled unequal bags digest differently."""
+
+    @given(seed=st.integers(0, 10_000), data=st.data())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_digest_agrees_with_counter_equality(self, seed, data):
+        generator = RandomQueryGenerator(
+            DB.catalog, seed=seed, stats=STATS, min_operators=3,
+            max_operators=7,
+        )
+        tree = generator.random_tree()
+        validate_tree(tree, DB.catalog)
+        result = _optimize(tree)
+        rows = execute_plan(result.plan, DB, result.output_columns).rows
+
+        def bag(candidate):
+            return Counter(canonical_row(row) for row in candidate)
+
+        def agree(candidate):
+            return (digest_rows(candidate) == digest_rows(rows)) == (
+                bag(candidate) == bag(rows)
+            )
+
+        # Equal bags => equal digests: order must not matter.
+        shuffled = list(rows)
+        random.Random(seed).shuffle(shuffled)
+        assert digest_rows(shuffled) == digest_rows(rows)
+
+        if not rows:
+            return
+        index = data.draw(st.integers(0, len(rows) - 1))
+        victim = rows[index]
+        perturbations = [
+            rows[:index] + rows[index + 1:],  # drop one row
+            rows + [victim],  # duplicate one row
+            # same row count, one widened row (token change only)
+            rows[:index] + [victim + ("sentinel",)] + rows[index + 1:],
+        ]
+        if any(isinstance(value, float) for value in victim):
+            # Nudge a float below the comparison precision: whichever
+            # way it rounds, digest and Counter must agree on it.
+            nudged = tuple(
+                value + 1e-9 if isinstance(value, float) else value
+                for value in victim
+            )
+            perturbations.append(
+                rows[:index] + [nudged] + rows[index + 1:]
+            )
+        for perturbed in perturbations:
+            assert agree(perturbed)
 
 
 # -------------------------------------------------- compression properties

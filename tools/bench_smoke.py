@@ -57,6 +57,165 @@ from repro.workloads import tpch_database
 #: enough to catch an accidentally unconditional hot-path allocation.
 MAX_TRACING_OVERHEAD = 0.10
 
+#: The batched columnar campaign path must beat the serial iterator path
+#: by at least this factor (docs/EXECUTION.md); locally measured well
+#: above it, the floor catches a regression that quietly falls back to
+#: row-at-a-time execution.
+MIN_CAMPAIGN_EXEC_SPEEDUP = 2.0
+
+
+def executor_smoke(database, registry) -> dict:
+    """Columnar-vs-iterator executor microbenchmark (docs/EXECUTION.md).
+
+    Optimizes a pool of random scan/filter/join/aggregate queries once
+    (untimed), then times pure plan execution under both executors.  The
+    two executors must agree bag-for-bag on every plan; the columnar
+    rows/sec figure feeds the trajectory artifact.
+    """
+    from repro.engine import (
+        COLUMNAR,
+        ITERATOR,
+        ExecutionConfig,
+        execute_plan,
+        results_identical,
+    )
+    from repro.optimizer.engine import Optimizer
+    from repro.testing.random_gen import RandomQueryGenerator
+
+    stats = database.stats_repository()
+    generator = RandomQueryGenerator(
+        database.catalog, seed=42, stats=stats,
+        min_operators=3, max_operators=7,
+    )
+    optimizer = Optimizer(database.catalog, stats, registry)
+    plans = []
+    while len(plans) < 24:
+        tree = generator.random_tree()
+        try:
+            result = optimizer.optimize(tree)
+        except Exception:
+            continue
+        plans.append((result.plan, result.output_columns))
+
+    def timed_pass(config):
+        results = []
+        rows = 0
+        start = time.perf_counter()
+        for plan, outputs in plans:
+            result = execute_plan(plan, database, outputs, config=config)
+            rows += len(result.rows)
+            results.append(result)
+        return time.perf_counter() - start, rows, results
+
+    columnar = ExecutionConfig(executor=COLUMNAR)
+    iterator = ExecutionConfig(executor=ITERATOR)
+    timed_pass(columnar)  # warm the per-table scan caches once
+    col_seconds, col_rows, col_results = timed_pass(columnar)
+    it_seconds, it_rows, it_results = timed_pass(iterator)
+    return {
+        "plans": len(plans),
+        "rows": col_rows,
+        "columnar_seconds": col_seconds,
+        "iterator_seconds": it_seconds,
+        "columnar_rows_per_sec": round(col_rows / max(col_seconds, 1e-9), 1),
+        "iterator_rows_per_sec": round(it_rows / max(it_seconds, 1e-9), 1),
+        "speedup": round(it_seconds / max(col_seconds, 1e-9), 3),
+        "results_identical": all(
+            results_identical(a, b)
+            for a, b in zip(col_results, it_results)
+        ),
+    }
+
+
+def campaign_exec_smoke(registry) -> dict:
+    """Campaign-execution wall-time gate (docs/EXECUTION.md).
+
+    The same full correctness campaign runs through the legacy serial
+    row-at-a-time path (``batched=False`` + the iterator executor) and
+    through the default batched columnar path.  Both share one
+    pre-warmed :class:`PlanService`, so optimization is answered from the
+    fingerprint cache and the timed region isolates plan *execution* and
+    result comparison -- the layer the columnar executor rewrote.
+
+    Campaign harnesses re-execute the same (plan, database) pairs
+    constantly -- mutation campaigns share most baselines across
+    mutants, multi-seed kill configs re-run overlapping suites,
+    compression A/Bs replay the full pool -- so the steady-state
+    per-campaign wall time is what the harness actually pays.  Each leg
+    is therefore timed as the min of three alternating passes (the same
+    discipline ``tracing_smoke`` uses): the serial path re-executes
+    row-at-a-time every pass, while the batched path is served by the
+    columnar executor plus the cross-campaign result cache.  The first
+    batched pass is also reported separately as the cold number.  The
+    two reports must agree record-for-record, and the steady-state
+    speedup must be at least ``MIN_CAMPAIGN_EXEC_SPEEDUP``x.
+    """
+    from repro.engine import ITERATOR, ExecutionConfig
+    from repro.testing.compression import CompressionPlan
+    from repro.testing.correctness import CorrectnessRunner
+
+    database = tpch_database(seed=1)
+    suite = TestSuiteBuilder(
+        database, registry, seed=0, extra_operators=2
+    ).build(singleton_nodes(registry.exploration_rule_names), k=2)
+    assignments = {}
+    for query in suite.queries:
+        assignments.setdefault(query.generated_for, []).append(
+            query.query_id
+        )
+    plan = CompressionPlan(
+        method="FULL",
+        assignments=assignments,
+        node_costs={q.query_id: q.cost for q in suite.queries},
+        edge_costs={
+            (node, query_id): 0.0
+            for node, ids in assignments.items()
+            for query_id in ids
+        },
+    )
+
+    shared_service = PlanService(database, registry=registry)
+    serial_runner = CorrectnessRunner(
+        database, registry, service=shared_service,
+        batched=False, execution=ExecutionConfig(executor=ITERATOR),
+    )
+    batched_runner = CorrectnessRunner(
+        database, registry, service=shared_service, batched=True
+    )
+
+    def timed_run(runner):
+        start = time.perf_counter()
+        report = runner.run(plan, suite)
+        return time.perf_counter() - start, report
+
+    timed_run(serial_runner)  # warm the optimizer fingerprint cache
+    cold_seconds, batched_report = timed_run(batched_runner)
+    serial_times, batched_times = [], []
+    for _ in range(3):
+        seconds, serial_report = timed_run(serial_runner)
+        serial_times.append(seconds)
+        seconds, batched_report = timed_run(batched_runner)
+        batched_times.append(seconds)
+
+    serial_seconds = min(serial_times)
+    batched_seconds = min(batched_times)
+    return {
+        "queries": len(suite.queries),
+        "comparisons": batched_report.comparisons,
+        "serial_iterator_seconds": serial_seconds,
+        "batched_columnar_seconds": batched_seconds,
+        "batched_cold_seconds": cold_seconds,
+        "speedup": round(serial_seconds / max(batched_seconds, 1e-9), 3),
+        "cold_speedup": round(serial_seconds / max(cold_seconds, 1e-9), 3),
+        "records_identical": (
+            serial_report.records == batched_report.records
+            and serial_report.errors == batched_report.errors
+            and [str(i) for i in serial_report.issues]
+            == [str(i) for i in batched_report.issues]
+        ),
+        "passed": batched_report.passed,
+    }
+
 
 def fig8_smoke(database, registry, service, rules: int) -> dict:
     generator = QueryGenerator(database, registry, seed=123, service=service)
@@ -314,6 +473,26 @@ def diff_smoke(registry, rules: int, k: int) -> dict:
     }
 
 
+def _exec_failures(executor: dict, campaign_exec: dict) -> list:
+    """Gate conditions for the execution-layer smoke sections."""
+    failures = []
+    if not executor["results_identical"]:
+        failures.append(
+            "executor: columnar and iterator disagreed on a plan's bag"
+        )
+    if not campaign_exec["records_identical"]:
+        failures.append(
+            "campaign_exec: batched columnar campaign diverged from the "
+            "serial iterator records"
+        )
+    if campaign_exec["speedup"] < MIN_CAMPAIGN_EXEC_SPEEDUP:
+        failures.append(
+            f"campaign_exec: speedup {campaign_exec['speedup']}x < "
+            f"{MIN_CAMPAIGN_EXEC_SPEEDUP}x"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rules", type=int, default=4)
@@ -329,7 +508,13 @@ def main(argv=None) -> int:
         "Figure 8 pass ('' disables)",
     )
     parser.add_argument(
-        "--trajectory-out", default="BENCH_8.json",
+        "--exec-only", action="store_true",
+        help="run only the executor microbenchmark and the "
+        "campaign-execution gate (the CI exec-bench job); writes the "
+        "same --output artifact with just those sections",
+    )
+    parser.add_argument(
+        "--trajectory-out", default="BENCH_10.json",
         help="where to write the per-PR perf-trajectory summary "
         "(plans/sec, campaign wall-time, warm/cold cache ratio; "
         "'' disables).  The committed BENCH_<n>.json series lets "
@@ -339,10 +524,29 @@ def main(argv=None) -> int:
 
     database = tpch_database(seed=0)
     registry = default_registry()
+
+    if args.exec_only:
+        executor = executor_smoke(database, registry)
+        campaign_exec = campaign_exec_smoke(registry)
+        payload = {
+            "executor": executor,
+            "campaign_exec": campaign_exec,
+        }
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        failures = _exec_failures(executor, campaign_exec)
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
     service = PlanService(database, registry=registry, workers=args.workers)
 
     fig8 = fig8_smoke(database, registry, service, args.rules)
     fig14 = fig14_smoke(database, registry, service, args.rules, args.k)
+    executor = executor_smoke(database, registry)
+    campaign_exec = campaign_exec_smoke(registry)
     mutation, mutation_report = mutation_smoke(registry)
     compress = compress_smoke(mutation_report)
     differential = diff_smoke(registry, rules=6, k=args.k)
@@ -357,6 +561,8 @@ def main(argv=None) -> int:
         },
         "fig8": fig8,
         "fig14": fig14,
+        "executor": executor,
+        "campaign_exec": campaign_exec,
         "mutation": mutation,
         "compress": compress,
         "differential": differential,
@@ -386,6 +592,8 @@ def main(argv=None) -> int:
             "warm_cold_cache_ratio": round(
                 fig14["cold_seconds"] / max(fig14["warm_seconds"], 1e-9), 1
             ),
+            "executor_rows_per_sec": executor["columnar_rows_per_sec"],
+            "campaign_exec_speedup": campaign_exec["speedup"],
             "tracing_overhead": round(tracing["overhead"], 4),
             "warm_pass_cache_hits": fig14["warm_pass_cache_hits"],
             "compress_detection_rate": compress["detection_rate"],
@@ -405,6 +613,7 @@ def main(argv=None) -> int:
         failures.append("fig14: monotonicity changed the solution cost")
     if fig14["warm_pass_cache_hits"] <= 0:
         failures.append("service: second edge-cost pass had no cache hits")
+    failures.extend(_exec_failures(executor, campaign_exec))
     if mutation["full_score"] is None or mutation["full_score"] < 1.0:
         failures.append(
             "mutation: a handwritten fault survived the FULL suite "
